@@ -1,0 +1,76 @@
+// Command botswarm runs Yardstick-style player emulation against a live MLG
+// server over TCP: it connects a swarm of bots that walk randomly in a
+// bounded area and probe game response time with self-addressed chat
+// messages, then reports the response-time distribution.
+//
+// Usage:
+//
+//	botswarm [-addr 127.0.0.1:25565] [-bots 25] [-behavior bounded-random]
+//	         [-duration 60s] [-probe 1s] [-area 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bot"
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:25565", "server address")
+		bots     = flag.Int("bots", 25, "number of emulated players")
+		behavior = flag.String("behavior", "bounded-random", "idle or bounded-random")
+		duration = flag.Duration("duration", 60*time.Second, "emulation length")
+		probe    = flag.Duration("probe", time.Second, "chat-probe interval")
+		area     = flag.Float64("area", 32, "random-walk square side in blocks")
+		seed     = flag.Int64("seed", 1, "behaviour seed")
+	)
+	flag.Parse()
+
+	beh := bot.RandomWalk
+	if *behavior == "idle" {
+		beh = bot.Idle
+	}
+
+	var clients []*bot.Client
+	for i := 0; i < *bots; i++ {
+		c, err := bot.Connect(*addr, bot.Config{
+			Name:     fmt.Sprintf("bot-%02d", i),
+			Behavior: beh,
+			AreaSide: *area, BaseY: 30,
+			ProbeEvery: *probe,
+			Seed:       *seed + int64(i)*7919,
+		})
+		if err != nil {
+			log.Fatalf("bot %d: %v", i, err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+		time.Sleep(100 * time.Millisecond) // ramp up, as Yardstick does
+	}
+	log.Printf("%d bots connected to %s; running %v", len(clients), *addr, *duration)
+	time.Sleep(*duration)
+
+	var rtts []float64
+	for _, c := range clients {
+		for _, p := range c.Probes() {
+			rtts = append(rtts, float64(p.RTT)/float64(time.Millisecond))
+		}
+	}
+	if len(rtts) == 0 {
+		log.Print("no probes completed")
+		os.Exit(1)
+	}
+	s := metrics.Summarize(rtts)
+	fmt.Printf("response time over %d probes [ms]:\n", s.N)
+	fmt.Printf("  p5=%s p25=%s median=%s p75=%s p95=%s mean=%s max=%s\n",
+		report.F(s.P5), report.F(s.P25), report.F(s.Median), report.F(s.P75),
+		report.F(s.P95), report.F(s.Mean), report.F(s.Max))
+	fmt.Println(report.BoxRow("swarm RTT", s, s.P95*1.2, 60))
+}

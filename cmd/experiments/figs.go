@@ -1,0 +1,357 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/env"
+	"repro/internal/metrics"
+	"repro/internal/mlg/server"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Latency thresholds from §3.5.1: response time becomes noticeable at 60 ms
+// and the game unplayable at 118 ms.
+const (
+	noticeableMS = 60.0
+	unplayableMS = 118.0
+)
+
+// fig1 reproduces Figure 1: Minecraft (Vanilla) response time on the AWS
+// cloud under the Control and Resource Farms workloads, one idle player.
+func fig1(c *ctx) (string, error) {
+	var b strings.Builder
+	var rows [][]string
+	maxScale := 0.0
+	sums := map[string]metrics.Summary{}
+	for _, k := range []workload.Kind{workload.Control, workload.Farm} {
+		s := metrics.Summarize(c.pooledResponses(server.Vanilla, k, env.AWSLarge))
+		sums[k.String()] = s
+		if s.P95 > maxScale {
+			maxScale = s.P95
+		}
+		rows = append(rows, []string{k.String(),
+			report.F(s.P5), report.F(s.P25), report.F(s.Median), report.F(s.P75),
+			report.F(s.P95), report.F(s.Mean), report.F(s.Max)})
+	}
+	for _, k := range []string{"Control", "Farm"} {
+		b.WriteString(report.BoxRow(k, sums[k], maxScale*1.1, 60) + "\n")
+	}
+	fmt.Fprintf(&b, "thresholds: NoticeableDelay=%v ms, UnplayableGame=%v ms\n", noticeableMS, unplayableMS)
+	b.WriteString(report.Table(
+		[]string{"workload", "p5", "p25", "median", "p75", "p95", "mean", "max"}, rows))
+	err := report.WriteCSV(filepath.Join(c.out, "fig1.csv"),
+		[]string{"workload", "p5_ms", "p25_ms", "median_ms", "p75_ms", "p95_ms", "mean_ms", "max_ms"}, rows)
+	return b.String(), err
+}
+
+// fig6 reproduces Figure 6: the analytic ISR model ISR = (s-1)/(s+λ-1) for
+// s ∈ {2, 10, 20} (6a) and the order-sensitivity example traces (6b).
+func fig6(c *ctx) (string, error) {
+	var rows [][]string
+	for lambda := 1; lambda <= 100; lambda++ {
+		rows = append(rows, []string{
+			fmt.Sprint(lambda),
+			report.F(metrics.ISRModel(2, float64(lambda))),
+			report.F(metrics.ISRModel(10, float64(lambda))),
+			report.F(metrics.ISRModel(20, float64(lambda))),
+		})
+	}
+	if err := report.WriteCSV(filepath.Join(c.out, "fig6a.csv"),
+		[]string{"lambda", "isr_s2", "isr_s10", "isr_s20"}, rows); err != nil {
+		return "", err
+	}
+
+	// Figure 6b: 1000 ticks, five outliers at s=20 — front-loaded vs spread.
+	const total, outliers, s, bMS = 1000, 5, 20.0, 50.0
+	ne := int(((total - outliers) + outliers*s) * bMS / bMS)
+	low := metrics.ISR(metrics.FrontLoadedOutlierTrace(total, outliers, s, bMS), bMS, ne)
+	high := metrics.ISR(metrics.SpreadOutlierTrace(total, outliers, s, bMS), bMS, ne)
+	if err := report.WriteCSV(filepath.Join(c.out, "fig6b.csv"),
+		[]string{"trace", "isr"}, [][]string{
+			{"low_isr_front_loaded", report.F(low)},
+			{"high_isr_spread", report.F(high)},
+		}); err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	b.WriteString("ISR(s,λ) = (s-1)/(s+λ-1); sampled:\n")
+	for _, lambda := range []float64{2, 10, 25, 50, 100} {
+		fmt.Fprintf(&b, "  λ=%3.0f  s=2: %s  s=10: %s  s=20: %s\n", lambda,
+			report.F(metrics.ISRModel(2, lambda)),
+			report.F(metrics.ISRModel(10, lambda)),
+			report.F(metrics.ISRModel(20, lambda)))
+	}
+	fmt.Fprintf(&b, "paper check: ISR(10,25) = %s (paper: 0.26)\n", report.F(metrics.ISRModel(10, 25)))
+	fmt.Fprintf(&b, "fig6b: front-loaded ISR=%s, spread ISR=%s (order of magnitude apart)\n",
+		report.F(low), report.F(high))
+	return b.String(), nil
+}
+
+// fig7 reproduces Figure 7 / MF1: response-time distributions of Minecraft
+// and Forge under Control, Farm and TNT on AWS. PaperMC is omitted exactly
+// as in the paper: its asynchronous chat thread bypasses the game tick, so
+// the chat probe does not measure tick latency.
+func fig7(c *ctx) (string, error) {
+	type row struct {
+		label string
+		sum   metrics.Summary
+	}
+	var rowsOut []row
+	var csvRows [][]string
+	for _, k := range []workload.Kind{workload.Control, workload.Farm, workload.TNT} {
+		for _, f := range []server.Flavor{server.Vanilla, server.Forge} {
+			s := metrics.Summarize(c.pooledResponses(f, k, env.AWSLarge))
+			label := fmt.Sprintf("%s/%s", k, f.Name)
+			rowsOut = append(rowsOut, row{label, s})
+			csvRows = append(csvRows, []string{k.String(), f.Name,
+				report.F(s.P5), report.F(s.P25), report.F(s.Median), report.F(s.P75),
+				report.F(s.P95), report.F(s.Mean), report.F(s.Max),
+				report.F(s.Max / s.Mean), report.F(s.Max / unplayableMS)})
+		}
+	}
+	var b strings.Builder
+	scale := 0.0
+	for _, r := range rowsOut {
+		if r.sum.P95 > scale {
+			scale = r.sum.P95
+		}
+	}
+	for _, r := range rowsOut {
+		b.WriteString(report.BoxRow(r.label, r.sum, scale*1.1, 60) + "\n")
+	}
+	fmt.Fprintf(&b, "thresholds: noticeable=%v ms, unplayable=%v ms (PaperMC omitted: async chat)\n",
+		noticeableMS, unplayableMS)
+	b.WriteString(report.Table([]string{"workload", "MLG", "p5", "p25", "med", "p75", "p95", "mean", "max", "max/mean", "max/unplayable"}, csvRows))
+	err := report.WriteCSV(filepath.Join(c.out, "fig7.csv"),
+		[]string{"workload", "mlg", "p5_ms", "p25_ms", "median_ms", "p75_ms", "p95_ms", "mean_ms", "max_ms", "max_over_mean", "max_over_unplayable"}, csvRows)
+	return b.String(), err
+}
+
+// fig8 reproduces Figure 8 / MF2: ISR for each MLG under each workload on
+// AWS 2-core, DAS-5 2-core and DAS-5 16-core. The Lag workload crashes
+// every MLG on AWS, as in the paper.
+func fig8(c *ctx) (string, error) {
+	envs := []env.Profile{env.AWSLarge, env.DAS5TwoCore, env.DAS5SixteenCore}
+	kinds := []workload.Kind{workload.Control, workload.Farm, workload.TNT, workload.Lag, workload.Players}
+	var b strings.Builder
+	var csvRows [][]string
+	for _, p := range envs {
+		fmt.Fprintf(&b, "%s:\n", p.Name)
+		for _, k := range kinds {
+			line := fmt.Sprintf("  %-8s", k)
+			for _, f := range server.Flavors() {
+				r := c.run(f, k, p, 0)
+				if r.Crashed {
+					line += fmt.Sprintf("  %s=CRASH", f.Name)
+					csvRows = append(csvRows, []string{p.Name, k.String(), f.Name, "", "true"})
+				} else {
+					line += fmt.Sprintf("  %s=%s", f.Name, report.F(r.ISR))
+					csvRows = append(csvRows, []string{p.Name, k.String(), f.Name, report.F(r.ISR), "false"})
+				}
+			}
+			b.WriteString(line + "\n")
+		}
+	}
+	err := report.WriteCSV(filepath.Join(c.out, "fig8.csv"),
+		[]string{"environment", "workload", "mlg", "isr", "crashed"}, csvRows)
+	return b.String(), err
+}
+
+// fig9 reproduces Figure 9: tick time over time for each MLG on AWS under
+// Control, Farm, TNT and Players. (Lag is omitted on AWS because every MLG
+// crashes, as in the paper.)
+func fig9(c *ctx) (string, error) {
+	kinds := []workload.Kind{workload.Control, workload.Farm, workload.TNT, workload.Players}
+	var b strings.Builder
+	for _, k := range kinds {
+		var csvRows [][]string
+		fmt.Fprintf(&b, "%s:\n", k)
+		for _, f := range server.Flavors() {
+			r := c.run(f, k, env.AWSLarge, 0)
+			for _, pt := range r.Series {
+				csvRows = append(csvRows, []string{f.Name,
+					report.F(pt.AtMS), report.F(pt.DurMS)})
+			}
+			// Time-bucketed resampling (max per bucket) so the sparkline's
+			// x axis is wall time, like the paper's plot.
+			const buckets = 72
+			durs := make([]float64, buckets)
+			span := c.duration.Seconds() * 1000
+			peak := 0.0
+			for _, pt := range r.Series {
+				idx := int(pt.AtMS / span * buckets)
+				if idx >= buckets {
+					idx = buckets - 1
+				}
+				if pt.DurMS > durs[idx] {
+					durs[idx] = pt.DurMS
+				}
+				if pt.DurMS > peak {
+					peak = pt.DurMS
+				}
+			}
+			fmt.Fprintf(&b, "  %-10s %s  peak=%s ms\n", f.Name, report.Sparkline(durs, buckets), report.F(peak))
+		}
+		if err := report.WriteCSV(
+			filepath.Join(c.out, fmt.Sprintf("fig9_%s.csv", strings.ToLower(k.String()))),
+			[]string{"mlg", "t_ms", "tick_ms"}, csvRows); err != nil {
+			return "", err
+		}
+	}
+	b.WriteString("overloaded threshold: 50 ms; Lag on AWS omitted (all MLGs crash)\n")
+	return b.String(), nil
+}
+
+// fig10 reproduces Figure 10 / MF3: distributions of tick time and ISR over
+// many iterations of the Players workload on DAS-5, Azure and AWS.
+func fig10(c *ctx) (string, error) {
+	envs := []env.Profile{env.DAS5TwoCore, env.AzureD2, env.AWSLarge}
+	var b strings.Builder
+	var csvRows [][]string
+	type agg struct {
+		label      string
+		isr, ticks metrics.Summary
+	}
+	var aggs []agg
+	for _, p := range envs {
+		for _, f := range server.Flavors() {
+			var isrs, tickMeans []float64
+			for it := 0; it < c.fig10Iters; it++ {
+				r := c.run(f, workload.Players, p, it)
+				isrs = append(isrs, r.ISR)
+				tickMeans = append(tickMeans, r.TickSummary.Mean)
+				csvRows = append(csvRows, []string{p.Name, f.Name, fmt.Sprint(it),
+					report.F(r.ISR), report.F(r.TickSummary.Mean), report.F(r.TickSummary.Median)})
+			}
+			aggs = append(aggs, agg{
+				label: fmt.Sprintf("%s/%s", p.Name, f.Name),
+				isr:   metrics.Summarize(isrs),
+				ticks: metrics.Summarize(tickMeans),
+			})
+		}
+	}
+	var isrScale, tickScale float64
+	for _, a := range aggs {
+		if a.isr.P95 > isrScale {
+			isrScale = a.isr.P95
+		}
+		if a.ticks.P95 > tickScale {
+			tickScale = a.ticks.P95
+		}
+	}
+	b.WriteString("ISR distribution across iterations:\n")
+	for _, a := range aggs {
+		b.WriteString(report.BoxRow(a.label, a.isr, isrScale*1.1, 50) + "\n")
+	}
+	b.WriteString("\nmean tick time [ms] distribution across iterations:\n")
+	for _, a := range aggs {
+		b.WriteString(report.BoxRow(a.label, a.ticks, tickScale*1.1, 50) + "\n")
+	}
+	var isrRows [][]string
+	for _, a := range aggs {
+		isrRows = append(isrRows, []string{a.label,
+			report.F(a.isr.Median), report.F(a.isr.IQR), report.F(a.isr.Min), report.F(a.isr.Max),
+			report.F(a.ticks.Median), report.F(a.ticks.IQR)})
+	}
+	b.WriteString("\n" + report.Table([]string{"env/MLG", "ISRmed", "ISRiqr", "ISRmin", "ISRmax", "tickMed", "tickIQR"}, isrRows))
+	err := report.WriteCSV(filepath.Join(c.out, "fig10.csv"),
+		[]string{"environment", "mlg", "iteration", "isr", "tick_mean_ms", "tick_median_ms"}, csvRows)
+	return b.String(), err
+}
+
+// fig11 reproduces Figure 11 / MF4: the share of tick time attributed to
+// each operation category on AWS.
+func fig11(c *ctx) (string, error) {
+	kinds := []workload.Kind{workload.TNT, workload.Farm, workload.Control}
+	glyphs := []rune{'A', 'U', 'E', 'b', 'a', 'o'} // add/rm, update, entities, waitBefore, waitAfter, other
+	var b strings.Builder
+	b.WriteString("legend: A=block add/remove U=block update E=entities b=wait-before a=wait-after o=other\n")
+	var csvRows [][]string
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%s:\n", k)
+		for _, f := range server.Flavors() {
+			r := c.run(f, k, env.AWSLarge, 0)
+			d := r.Fig11
+			total := d.PlayerUS + d.BlockUpdateUS + d.BlockAddRemoveUS + d.EntityUS +
+				d.OtherUS + d.WaitBeforeUS + d.WaitAfterUS
+			if total <= 0 {
+				continue
+			}
+			shares := []float64{
+				d.BlockAddRemoveUS / total,
+				d.BlockUpdateUS / total,
+				d.EntityUS / total,
+				d.WaitBeforeUS / total,
+				d.WaitAfterUS / total,
+				(d.OtherUS + d.PlayerUS) / total,
+			}
+			b.WriteString("  " + report.StackedRow(f.Name, shares, glyphs, 70) + "\n")
+			// Entity share of non-wait time (the MF4 statement).
+			busy := total - d.WaitBeforeUS - d.WaitAfterUS
+			entityOfBusy := 0.0
+			if busy > 0 {
+				entityOfBusy = d.EntityUS / busy
+			}
+			csvRows = append(csvRows, []string{k.String(), f.Name,
+				report.F(shares[0] * 100), report.F(shares[1] * 100), report.F(shares[2] * 100),
+				report.F(shares[3] * 100), report.F(shares[4] * 100), report.F(shares[5] * 100),
+				report.F(entityOfBusy * 100), report.F(d.EntityUS / 1000),
+				report.F((d.BlockUpdateUS + d.BlockAddRemoveUS) / 1000)})
+		}
+	}
+	b.WriteString(report.Table([]string{"workload", "MLG", "addrm%", "update%", "entities%", "waitB%", "waitA%", "other%", "entity% of busy", "entity ms", "terrain ms"}, csvRows))
+	err := report.WriteCSV(filepath.Join(c.out, "fig11.csv"),
+		[]string{"workload", "mlg", "block_addrm_pct", "block_update_pct", "entities_pct",
+			"wait_before_pct", "wait_after_pct", "other_pct", "entity_pct_of_busy",
+			"entity_ms_abs", "terrain_ms_abs"}, csvRows)
+	return b.String(), err
+}
+
+// fig12 reproduces Figure 12 / MF5: tick-time distribution and ISR for the
+// TNT workload across AWS node sizes L, XL and 2XL.
+func fig12(c *ctx) (string, error) {
+	var b strings.Builder
+	var csvRows [][]string
+	sizeName := map[string]string{
+		env.AWSLarge.Name: "L", env.AWSXLarge.Name: "XL", env.AWS2XLarge.Name: "2XL",
+	}
+	var boxes []struct {
+		label string
+		sum   metrics.Summary
+		isr   float64
+	}
+	for _, p := range env.NodeSizes() {
+		for _, f := range server.Flavors() {
+			r := c.run(f, workload.TNT, p, 0)
+			boxes = append(boxes, struct {
+				label string
+				sum   metrics.Summary
+				isr   float64
+			}{fmt.Sprintf("%s/%s", sizeName[p.Name], f.Name), r.TickSummary, r.ISR})
+			csvRows = append(csvRows, []string{sizeName[p.Name], f.Name,
+				report.F(r.TickSummary.Mean), report.F(r.TickSummary.Median),
+				report.F(r.TickSummary.P75), report.F(r.TickSummary.P95),
+				report.F(r.TickSummary.Max), report.F(r.ISR)})
+		}
+	}
+	scale := 0.0
+	for _, bx := range boxes {
+		if bx.sum.P95 > scale {
+			scale = bx.sum.P95
+		}
+	}
+	for _, bx := range boxes {
+		b.WriteString(report.BoxRow(bx.label, bx.sum, scale*1.1, 50) +
+			fmt.Sprintf("  ISR=%s\n", report.F(bx.isr)))
+	}
+	b.WriteString("overloaded threshold: 50 ms\n")
+	b.WriteString(report.Table([]string{"node", "MLG", "mean", "median", "p75", "p95", "max", "ISR"}, csvRows))
+	err := report.WriteCSV(filepath.Join(c.out, "fig12.csv"),
+		[]string{"node_size", "mlg", "tick_mean_ms", "tick_median_ms", "tick_p75_ms",
+			"tick_p95_ms", "tick_max_ms", "isr"}, csvRows)
+	return b.String(), err
+}

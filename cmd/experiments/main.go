@@ -1,0 +1,111 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§5) using the Meterstick reproduction: it runs the benchmark
+// grid on the modelled deployment environments, writes one CSV per artifact
+// under -out, and prints ASCII renditions of each plot.
+//
+// Usage:
+//
+//	experiments [-run fig8] [-out results] [-duration 60s] [-iterations 3]
+//	            [-fig10-iters 50] [-quick]
+//
+// -quick reduces durations and iteration counts for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		runPat     = flag.String("run", "", "only run experiments whose id contains this substring")
+		outDir     = flag.String("out", "results", "output directory for CSV files")
+		duration   = flag.Duration("duration", 60*time.Second, "virtual duration of each run (paper: 60s)")
+		iterations = flag.Int("iterations", 3, "iterations pooled for response-time experiments")
+		fig10Iters = flag.Int("fig10-iters", 50, "iterations for the MF3 distribution experiment (paper: 50)")
+		quick      = flag.Bool("quick", false, "fast smoke mode: short runs, few iterations")
+	)
+	flag.Parse()
+
+	c := &ctx{
+		out:        *outDir,
+		duration:   *duration,
+		iterations: *iterations,
+		fig10Iters: *fig10Iters,
+		cache:      map[string]cached{},
+	}
+	if *quick {
+		c.duration = 20 * time.Second
+		c.iterations = 1
+		c.fig10Iters = 6
+	}
+
+	exps := experiments()
+	ran := 0
+	var summary strings.Builder
+	for _, e := range exps {
+		if *runPat != "" && !strings.Contains(e.id, *runPat) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		fmt.Printf("== %s: %s ==\n", e.id, e.title)
+		text, err := e.run(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+		fmt.Printf("-- %s done in %v --\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(&summary, "== %s: %s ==\n%s\n", e.id, e.title, text)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q; available:\n", *runPat)
+		for _, e := range exps {
+			fmt.Fprintf(os.Stderr, "  %-6s %s\n", e.id, e.title)
+		}
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(c.out, 0o755); err == nil {
+		os.WriteFile(filepath.Join(c.out, "summary.txt"), []byte(summary.String()), 0o644)
+	}
+}
+
+// experiment is one reproducible paper artifact.
+type experiment struct {
+	id    string
+	title string
+	run   func(*ctx) (string, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"fig1", "Minecraft response time in the AWS cloud", fig1},
+		{"fig6", "Numerical analysis of the Instability Ratio", fig6},
+		{"fig7", "Game response time under environment-based workloads (MF1)", fig7},
+		{"fig8", "ISR per MLG, workload and environment (MF2)", fig8},
+		{"fig9", "Tick time over time on AWS (MF2)", fig9},
+		{"fig10", "Tick time and ISR across 50 iterations of Players (MF3)", fig10},
+		{"fig11", "Tick-time distribution by operation (MF4)", fig11},
+		{"fig12", "Tick time and ISR vs AWS node size under TNT (MF5)", fig12},
+		{"tab2", "Workload worlds and their sizes", tab2},
+		{"tab3", "Farm-world simulated constructs", tab3},
+		{"tab6", "ISR vs existing variability metrics", tab6},
+		{"tab7", "Hardware recommendations of MLG hosting companies", tab7},
+		{"tab8", "Entity-related share of network traffic (MF4)", tab8},
+	}
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/mlg/server"
+	"repro/internal/workload"
+)
+
+// ctx carries experiment parameters and a cross-experiment run cache:
+// several artifacts (Figures 7, 9, 11, Table 8) are different views of the
+// same benchmark grid, so identical runs execute once.
+type ctx struct {
+	out        string
+	duration   time.Duration
+	iterations int
+	fig10Iters int
+	cache      map[string]cached
+}
+
+type cached struct {
+	res core.RunResult
+}
+
+// run executes (or recalls) one benchmark run.
+func (c *ctx) run(f server.Flavor, k workload.Kind, p env.Profile, iter int) core.RunResult {
+	key := fmt.Sprintf("%s|%s|%s|%d|%v", f.Name, k, p.Name, iter, c.duration)
+	if hit, ok := c.cache[key]; ok {
+		return hit.res
+	}
+	spec := core.RunSpec{
+		Flavor:    f,
+		Workload:  k.DefaultSpec(),
+		Env:       p,
+		Duration:  c.duration,
+		Iteration: iter,
+		Seed:      int64(len(f.Name))*131 + int64(k)*17,
+	}
+	res := core.Run(spec)
+	c.cache[key] = cached{res: res}
+	return res
+}
+
+// pooledResponses pools response-time samples over the configured
+// iteration count.
+func (c *ctx) pooledResponses(f server.Flavor, k workload.Kind, p env.Profile) []float64 {
+	var all []float64
+	for it := 0; it < c.iterations; it++ {
+		all = append(all, c.run(f, k, p, it).ResponseMS...)
+	}
+	return all
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/metrics"
+	"repro/internal/mlg/server"
+	"repro/internal/mlg/world"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// tab2 reproduces Table 2: the workload starting-point worlds and their
+// serialized sizes. (Absolute sizes differ from the paper's Minecraft
+// region files — our worlds are 64 blocks tall and RLE+gzip encoded — but
+// the inventory and the relative ordering are the artifact.)
+func tab2(c *ctx) (string, error) {
+	props := map[workload.Kind]string{
+		workload.Control: "Freshly generated world",
+		workload.TNT:     "Entity actions, terrain updates",
+		workload.Farm:    "Resource Farm constructs",
+		workload.Lag:     "Complex simulated construct, stress test",
+	}
+	var rows [][]string
+	for _, k := range []workload.Kind{workload.Control, workload.TNT, workload.Farm, workload.Lag} {
+		w := workload.NewWorld(k, world.PaperControlSeed)
+		clock := env.NewVirtualClock(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC))
+		m := env.NewMachine(env.DAS5TwoCore, 1)
+		s := server.New(w, server.DefaultConfig(server.Vanilla), m, clock)
+		if err := workload.Install(s, k.DefaultSpec()); err != nil {
+			return "", err
+		}
+		// Load the area a joining player would see, as the paper's worlds
+		// include their generated spawn region.
+		w.EnsureArea(world.Pos{X: 8, Y: 0, Z: 8}, 5)
+		size, err := w.SavedSize()
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, []string{k.String(), props[k],
+			fmt.Sprintf("%.3f", float64(size)/1e6),
+			fmt.Sprint(w.ChunkCount()), fmt.Sprint(w.NonAirBlocks())})
+	}
+	err := report.WriteCSV(filepath.Join(c.out, "tab2.csv"),
+		[]string{"name", "properties", "size_mb", "chunks", "non_air_blocks"}, rows)
+	return report.Table([]string{"Name", "Properties", "Size [MB]", "Chunks", "Blocks"}, rows), err
+}
+
+// tab3 reproduces Table 3: the simulated constructs in the Farm world.
+func tab3(c *ctx) (string, error) {
+	var rows [][]string
+	for _, r := range workload.Table3() {
+		rows = append(rows, []string{r.Name, fmt.Sprint(r.Amount), r.Author,
+			fmt.Sprintf("%.1f", r.PopularityMViews)})
+	}
+	err := report.WriteCSV(filepath.Join(c.out, "tab3.csv"),
+		[]string{"name", "amount", "author", "popularity_mviews"}, rows)
+	return report.Table([]string{"Name", "Amount", "Author", "Popularity [1e6 views]"}, rows), err
+}
+
+// tab6 reproduces Table 6: comparison of ISR with existing variability
+// metrics, plus an empirical demonstration on the clustered-vs-spread
+// example traces.
+func tab6(c *ctx) (string, error) {
+	var rows [][]string
+	for _, m := range metrics.Table6() {
+		rows = append(rows, []string{m.Name,
+			check(m.OrderDependent), check(m.IrregularSampling), check(m.Normalized)})
+	}
+	if err := report.WriteCSV(filepath.Join(c.out, "tab6.csv"),
+		[]string{"metric", "order_dependent", "irregular_sampling", "normalized"}, rows); err != nil {
+		return "", err
+	}
+	out := report.Table([]string{"Metric", "Order Dependent", "Irregular Sampling", "Normalized"}, rows)
+
+	// Empirical demonstration: identical distributions, different orders.
+	clustered := metrics.FrontLoadedOutlierTrace(1000, 5, 20, 50)
+	spread := metrics.SpreadOutlierTrace(1000, 5, 20, 50)
+	ne := 1095
+	demo := [][]string{
+		{"Standard deviation", report.F(metrics.StdDev(clustered)), report.F(metrics.StdDev(spread))},
+		{"Allan variance", report.F(metrics.AllanVariance(clustered)), report.F(metrics.AllanVariance(spread))},
+		{"Jitter (RFC3550)", report.F(metrics.RFC3550Jitter(clustered)), report.F(metrics.RFC3550Jitter(spread))},
+		{"ISR", report.F(metrics.ISR(clustered, 50, ne)), report.F(metrics.ISR(spread, 50, ne))},
+	}
+	out += "\nempirical (same value distribution, different order):\n"
+	out += report.Table([]string{"Metric", "clustered outliers", "spread outliers"}, demo)
+	return out, nil
+}
+
+func check(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// tab7 reproduces Table 7: hardware recommendations from MLG hosting
+// companies.
+func tab7(c *ctx) (string, error) {
+	var rows [][]string
+	for _, r := range env.Table7() {
+		v := "NP"
+		if !r.VCPUsNP && r.VCPUs > 0 {
+			v = fmt.Sprint(r.VCPUs)
+		}
+		speed := "NP"
+		switch {
+		case r.SpeedVar:
+			speed = "V"
+		case !r.SpeedNP && r.CPUSpeedGHz > 0:
+			speed = fmt.Sprintf("%.1f", r.CPUSpeedGHz)
+		}
+		rows = append(rows, []string{r.Service, fmt.Sprintf("%.1f", r.RAMGB), v, speed})
+	}
+	vc, ram := env.ModalRecommendation()
+	out := report.Table([]string{"Service", "RAM [GB]", "vCPU [#]", "CPU Speed [GHz]"}, rows)
+	out += fmt.Sprintf("\nmost common published configuration: %d vCPU / %.0f GB RAM\n", vc, ram)
+	err := report.WriteCSV(filepath.Join(c.out, "tab7.csv"),
+		[]string{"service", "ram_gb", "vcpus", "cpu_speed_ghz"}, rows)
+	return out, err
+}
+
+// tab8 reproduces Table 8: the entity-related share of network messages
+// (computation column) and of bytes sent (communication column) on AWS.
+func tab8(c *ctx) (string, error) {
+	var rows [][]string
+	for _, f := range server.Flavors() {
+		for _, k := range []workload.Kind{workload.Control, workload.Farm, workload.TNT} {
+			r := c.run(f, k, env.AWSLarge, 0)
+			var msgPct, bytePct float64
+			if r.Net.Msgs > 0 {
+				msgPct = float64(r.Net.EntityMsgs) / float64(r.Net.Msgs) * 100
+			}
+			if r.Net.Bytes > 0 {
+				bytePct = float64(r.Net.EntityBytes) / float64(r.Net.Bytes) * 100
+			}
+			rows = append(rows, []string{f.Name, k.String(),
+				fmt.Sprintf("%.1f", msgPct), fmt.Sprintf("%.1f", bytePct)})
+		}
+	}
+	err := report.WriteCSV(filepath.Join(c.out, "tab8.csv"),
+		[]string{"server", "workload", "entity_msgs_pct", "entity_bytes_pct"}, rows)
+	return report.Table([]string{"Server", "Workload", "Computation [%msgs]", "Communication [%bytes]"}, rows), err
+}

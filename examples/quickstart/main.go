@@ -1,0 +1,55 @@
+// Quickstart: run one Meterstick benchmark iteration and read its results.
+//
+// This is the smallest end-to-end use of the library: pick a system under
+// test (the Vanilla MLG flavor), a workload (the Farm world of resource-farm
+// constructs), a deployment environment (an AWS t3.large model), run for 60
+// virtual seconds, and inspect tick times, the Instability Ratio and the
+// chat-probe response times.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/mlg/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	spec := core.RunSpec{
+		Flavor:   server.Vanilla,
+		Workload: workload.Farm.DefaultSpec(),
+		Env:      env.AWSLarge,
+		Duration: 60 * time.Second,
+		Seed:     42,
+	}
+
+	fmt.Printf("benchmarking %s under the %s workload on %s...\n",
+		spec.Flavor.Name, spec.Workload.Kind, spec.Env.Name)
+	res := core.Run(spec)
+
+	fmt.Printf("\nInstability Ratio (ISR): %.4f\n", res.ISR)
+	t := res.TickSummary
+	fmt.Printf("tick time [ms]: mean=%.1f median=%.1f p95=%.1f max=%.1f\n",
+		t.Mean, t.Median, t.P95, t.Max)
+	fmt.Printf("overloaded ticks (>50 ms): %d of %d\n", res.Overloaded, len(res.TickMS))
+
+	r := res.ResponseSummary
+	fmt.Printf("response time [ms]: median=%.1f p95=%.1f max=%.1f over %d probes\n",
+		r.Median, r.P95, r.Max, r.N)
+	switch {
+	case r.P95 > 118:
+		fmt.Println("=> the 95th percentile is UNPLAYABLE (>118 ms)")
+	case r.P95 > 60:
+		fmt.Println("=> the 95th percentile has NOTICEABLE delay (>60 ms)")
+	default:
+		fmt.Println("=> response times are below the noticeable threshold")
+	}
+
+	fmt.Printf("farm throughput: %d items collected, %d entities alive at end\n",
+		res.ItemsCollected, res.FinalEntities)
+}

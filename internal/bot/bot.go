@@ -1,0 +1,157 @@
+// Package bot implements Meterstick's player emulation (component 5 of
+// Figure 5), adapted from the Yardstick benchmark the paper builds on: a
+// swarm of emulated players that connect to the MLG, walk with bounded
+// random movement inside a configurable square (§3.4.1: 25 players in a
+// 32×32 area), and measure game response time with the chat-echo probe of
+// §3.5.1 (send a chat message to all players including yourself, record how
+// long your own message takes to come back).
+//
+// Bots run in two modes sharing the same behaviour model:
+//
+//   - Virtual: the benchmark runner injects each bot's per-tick actions
+//     straight into the server's networking queue with simulated uplink
+//     latency, and completes probes from the server's chat echoes plus
+//     downlink latency. Deterministic and fast; used by all experiment
+//     reproduction.
+//   - Real: each bot owns a TCP connection and speaks the wire protocol
+//     against a live server (cmd/botswarm).
+package bot
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// Behavior selects what a bot does each tick.
+type Behavior int
+
+// Behaviors.
+const (
+	// Idle bots connect and send only chat probes — the single
+	// no-action player of the environment-based workloads (§3.3.1).
+	Idle Behavior = iota
+	// RandomWalk bots move randomly within the configured square each
+	// tick — the player-based workload (§3.4.1).
+	RandomWalk
+)
+
+// Config parameterizes one bot.
+type Config struct {
+	// Name is the bot's player name.
+	Name string
+	// Behavior selects idle or random-walk behaviour.
+	Behavior Behavior
+	// AreaOrigin and AreaSide bound the random walk: a square of
+	// AreaSide×AreaSide blocks starting at AreaOrigin (x, z).
+	AreaOriginX, AreaOriginZ float64
+	AreaSide                 float64
+	// BaseY is the walking height.
+	BaseY float64
+	// ProbeEvery is the interval between chat response-time probes; zero
+	// disables probing.
+	ProbeEvery time.Duration
+	// Seed makes the bot's movement deterministic.
+	Seed int64
+}
+
+// Probe is one completed response-time measurement.
+type Probe struct {
+	Bot    string
+	SentAt time.Time
+	RTT    time.Duration
+}
+
+// Bot is the deterministic behaviour core shared by both modes: it decides,
+// tick by tick, what the emulated player does.
+type Bot struct {
+	cfg       Config
+	rng       *rand.Rand
+	x, z      float64
+	lastProbe time.Time
+	seq       int
+}
+
+// New creates a bot behaviour core. The bot starts at the centre of its
+// movement area.
+func New(cfg Config) *Bot {
+	if cfg.AreaSide <= 0 {
+		cfg.AreaSide = 32
+	}
+	if cfg.BaseY == 0 {
+		cfg.BaseY = 11
+	}
+	return &Bot{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		x:   cfg.AreaOriginX + cfg.AreaSide/2,
+		z:   cfg.AreaOriginZ + cfg.AreaSide/2,
+	}
+}
+
+// Name returns the bot's player name.
+func (b *Bot) Name() string { return b.cfg.Name }
+
+// Actions returns the packets the bot emits for a tick starting at now.
+// Movement produces a PlayerMove; a due probe produces a Chat whose
+// SentUnixNano timestamps the probe.
+func (b *Bot) Actions(now time.Time) []protocol.Packet {
+	var out []protocol.Packet
+
+	if b.cfg.Behavior == RandomWalk {
+		// Bounded random walk: a step of up to ±1 block per axis per tick,
+		// clamped to the area.
+		b.x = clamp(b.x+(b.rng.Float64()*2-1), b.cfg.AreaOriginX, b.cfg.AreaOriginX+b.cfg.AreaSide)
+		b.z = clamp(b.z+(b.rng.Float64()*2-1), b.cfg.AreaOriginZ, b.cfg.AreaOriginZ+b.cfg.AreaSide)
+		out = append(out, &protocol.PlayerMove{X: b.x, Y: b.cfg.BaseY, Z: b.z})
+	}
+
+	if b.cfg.ProbeEvery > 0 && now.Sub(b.lastProbe) >= b.cfg.ProbeEvery {
+		b.lastProbe = now
+		b.seq++
+		out = append(out, &protocol.Chat{
+			Sender:       b.cfg.Name,
+			Text:         fmt.Sprintf("probe-%06d", b.seq),
+			SentUnixNano: now.UnixNano(),
+		})
+	}
+	return out
+}
+
+// Position returns the bot's current coordinates.
+func (b *Bot) Position() (x, y, z float64) { return b.x, b.cfg.BaseY, b.z }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Swarm is a set of bots with shared defaults, as the Configuration's
+// "Number of Bots" and "Behavior" parameters describe (Table 4).
+type Swarm struct {
+	Bots []*Bot
+}
+
+// NewSwarm creates n bots named bot-00..bot-n, seeded deterministically
+// from base seed, all confined to the same area.
+func NewSwarm(n int, behavior Behavior, probeEvery time.Duration, seed int64) *Swarm {
+	s := &Swarm{}
+	for i := 0; i < n; i++ {
+		s.Bots = append(s.Bots, New(Config{
+			Name:       fmt.Sprintf("bot-%02d", i),
+			Behavior:   behavior,
+			AreaSide:   32,
+			BaseY:      11,
+			ProbeEvery: probeEvery,
+			Seed:       seed + int64(i)*7919,
+		}))
+	}
+	return s
+}

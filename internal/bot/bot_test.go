@@ -1,0 +1,178 @@
+package bot
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/mlg/server"
+	"repro/internal/mlg/world"
+	"repro/internal/protocol"
+)
+
+func TestIdleBotOnlyProbes(t *testing.T) {
+	b := New(Config{Name: "idle", Behavior: Idle, ProbeEvery: time.Second, Seed: 1})
+	now := time.Unix(100, 0)
+	acts := b.Actions(now)
+	if len(acts) != 1 {
+		t.Fatalf("first tick actions = %d, want 1 (probe)", len(acts))
+	}
+	if _, ok := acts[0].(*protocol.Chat); !ok {
+		t.Fatalf("expected chat probe, got %T", acts[0])
+	}
+	// Within the probe interval: nothing.
+	if acts := b.Actions(now.Add(50 * time.Millisecond)); len(acts) != 0 {
+		t.Fatalf("idle bot emitted %d actions between probes", len(acts))
+	}
+	// After the interval: another probe with increasing sequence.
+	acts = b.Actions(now.Add(time.Second))
+	if len(acts) != 1 {
+		t.Fatal("second probe missing")
+	}
+	if acts[0].(*protocol.Chat).Text == "probe-000001" {
+		// first was 000001, second must differ
+		t.Fatal("probe sequence not advancing")
+	}
+}
+
+func TestRandomWalkStaysInArea(t *testing.T) {
+	b := New(Config{
+		Name: "walker", Behavior: RandomWalk, Seed: 3,
+		AreaOriginX: 100, AreaOriginZ: 200, AreaSide: 32, BaseY: 11,
+	})
+	now := time.Unix(0, 0)
+	for i := 0; i < 5000; i++ {
+		now = now.Add(50 * time.Millisecond)
+		for _, pkt := range b.Actions(now) {
+			if mv, ok := pkt.(*protocol.PlayerMove); ok {
+				if mv.X < 100 || mv.X > 132 || mv.Z < 200 || mv.Z > 232 {
+					t.Fatalf("bot left area at (%v, %v)", mv.X, mv.Z)
+				}
+				if mv.Y != 11 {
+					t.Fatalf("bot changed height: %v", mv.Y)
+				}
+			}
+		}
+	}
+	x, _, z := b.Position()
+	if x == 116 && z == 216 {
+		t.Fatal("bot never moved from centre")
+	}
+}
+
+func TestBotDeterminism(t *testing.T) {
+	mk := func() []protocol.Packet {
+		b := New(Config{Name: "d", Behavior: RandomWalk, Seed: 42, ProbeEvery: time.Second})
+		var all []protocol.Packet
+		now := time.Unix(0, 0)
+		for i := 0; i < 200; i++ {
+			now = now.Add(50 * time.Millisecond)
+			all = append(all, b.Actions(now)...)
+		}
+		return all
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		am, aok := a[i].(*protocol.PlayerMove)
+		bm, bok := b[i].(*protocol.PlayerMove)
+		if aok != bok {
+			t.Fatalf("packet %d types differ", i)
+		}
+		if aok && *am != *bm {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, am, bm)
+		}
+	}
+}
+
+func TestSwarmConstruction(t *testing.T) {
+	s := NewSwarm(25, RandomWalk, time.Second, 9)
+	if len(s.Bots) != 25 {
+		t.Fatalf("swarm size = %d", len(s.Bots))
+	}
+	names := map[string]bool{}
+	for _, b := range s.Bots {
+		if names[b.Name()] {
+			t.Fatalf("duplicate bot name %s", b.Name())
+		}
+		names[b.Name()] = true
+	}
+	// Different seeds: two bots must diverge.
+	now := time.Unix(0, 0).Add(50 * time.Millisecond)
+	a := s.Bots[0].Actions(now)
+	b := s.Bots[1].Actions(now)
+	if len(a) > 0 && len(b) > 0 {
+		am, aok := a[0].(*protocol.PlayerMove)
+		bm, bok := b[0].(*protocol.PlayerMove)
+		if aok && bok && *am == *bm {
+			t.Fatal("two bots moved identically on first tick")
+		}
+	}
+}
+
+func TestClientAgainstRealServer(t *testing.T) {
+	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+	srv := server.New(w, server.DefaultConfig(server.Vanilla), nil, env.RealClock{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	go func() {
+		for i := 0; i < 100; i++ {
+			srv.Tick()
+		}
+	}()
+	defer func() { srv.Stop(); ln.Close() }()
+
+	c, err := Connect(ln.Addr().String(), Config{
+		Name: "bot-00", Behavior: RandomWalk,
+		AreaOriginX: 0, AreaOriginZ: 0, AreaSide: 32, BaseY: 11,
+		ProbeEvery: 100 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	deadline := time.After(5 * time.Second)
+	for {
+		if probes := c.Probes(); len(probes) >= 2 {
+			for _, p := range probes {
+				if p.RTT <= 0 {
+					t.Fatalf("non-positive RTT: %v", p.RTT)
+				}
+				if p.RTT > 2*time.Second {
+					t.Fatalf("implausible RTT on loopback: %v", p.RTT)
+				}
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("collected %d probes, want >= 2", len(c.Probes()))
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func TestConnectRejectsBadServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c.Close() // slam the door
+	}()
+	if _, err := Connect(ln.Addr().String(), Config{Name: "x"}); err == nil {
+		t.Fatal("expected connect error against closing server")
+	}
+}

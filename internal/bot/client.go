@@ -1,0 +1,114 @@
+package bot
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// Client runs one bot over a real TCP connection: the Yardstick-style
+// emulation used against live servers (cmd/botswarm).
+type Client struct {
+	bot  *Bot
+	conn *protocol.Conn
+
+	mu     sync.Mutex
+	probes []Probe
+	done   chan struct{}
+	once   sync.Once
+}
+
+// Connect dials the server, performs the handshake and login, and returns a
+// running client. The read loop runs until Close or a connection error.
+func Connect(addr string, cfg Config) (*Client, error) {
+	conn, err := protocol.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.WritePacket(&protocol.Handshake{Version: protocol.ProtocolVersion}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := conn.WritePacket(&protocol.Login{Name: cfg.Name}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	pkt, _, err := conn.ReadPacket()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, ok := pkt.(*protocol.LoginSuccess); !ok {
+		conn.Close()
+		return nil, fmt.Errorf("bot %s: expected LoginSuccess, got %T", cfg.Name, pkt)
+	}
+
+	c := &Client{bot: New(cfg), conn: conn, done: make(chan struct{})}
+	go c.readLoop()
+	go c.actLoop()
+	return c, nil
+}
+
+// readLoop consumes server traffic, completing probes on self-echoed chats
+// and answering keep-alives.
+func (c *Client) readLoop() {
+	for {
+		pkt, _, err := c.conn.ReadPacket()
+		if err != nil {
+			c.Close()
+			return
+		}
+		switch p := pkt.(type) {
+		case *protocol.Chat:
+			if p.Sender == c.bot.Name() && p.SentUnixNano > 0 {
+				sent := time.Unix(0, p.SentUnixNano)
+				c.mu.Lock()
+				c.probes = append(c.probes, Probe{
+					Bot: c.bot.Name(), SentAt: sent, RTT: time.Since(sent),
+				})
+				c.mu.Unlock()
+			}
+		case *protocol.KeepAlive:
+			c.conn.WritePacket(p)
+		case *protocol.Disconnect:
+			c.Close()
+			return
+		}
+	}
+}
+
+// actLoop emits the bot's behaviour at the game-tick cadence.
+func (c *Client) actLoop() {
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case now := <-t.C:
+			for _, pkt := range c.bot.Actions(now) {
+				if _, err := c.conn.WritePacket(pkt); err != nil {
+					c.Close()
+					return
+				}
+			}
+		}
+	}
+}
+
+// Probes returns the response-time measurements collected so far.
+func (c *Client) Probes() []Probe {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Probe(nil), c.probes...)
+}
+
+// Close terminates the client.
+func (c *Client) Close() {
+	c.once.Do(func() {
+		close(c.done)
+		c.conn.Close()
+	})
+}

@@ -1,0 +1,219 @@
+package control
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	cases := []Message{
+		{Type: MsgSetServer, Arg: "PaperMC"},
+		{Type: MsgSetJMX, Arg: "service:jmx:rmi:///jndi/rmi://10.0.0.1:25585/jmxrmi"},
+		{Type: MsgIter, Arg: "7"},
+		{Type: MsgInitialize},
+		{Type: MsgLogStart},
+		{Type: MsgLogStop},
+		{Type: MsgStopServer},
+		{Type: MsgConnect},
+		{Type: MsgConvert},
+		{Type: MsgOK},
+		{Type: MsgKeepAlive},
+		{Type: MsgErr, Arg: "boom: something failed"},
+		{Type: MsgExit},
+	}
+	for _, m := range cases {
+		got, err := Parse(m.String() + "\n")
+		if err != nil {
+			t.Fatalf("parse %q: %v", m.String(), err)
+		}
+		if got != m {
+			t.Errorf("round trip %q -> %+v", m.String(), got)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "\n", "frobnicate", "bogus:arg"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseArgWithColons(t *testing.T) {
+	m, err := Parse("set_jmx:host:port:path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arg != "host:port:path" {
+		t.Fatalf("arg = %q", m.Arg)
+	}
+}
+
+func TestTable1Complete(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 13 {
+		t.Fatalf("Table 1 rows = %d, want 13", len(rows))
+	}
+	seen := map[MsgType]bool{}
+	for _, r := range rows {
+		if seen[r.Type] {
+			t.Errorf("duplicate row %q", r.Type)
+		}
+		seen[r.Type] = true
+		if r.Effect == "" || len(r.Dest) == 0 {
+			t.Errorf("incomplete row: %+v", r)
+		}
+	}
+}
+
+// recordingWorker records the commands it receives, optionally failing one.
+type recordingWorker struct {
+	mu     sync.Mutex
+	calls  []string
+	failOn string
+	exited bool
+}
+
+func (r *recordingWorker) record(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls = append(r.calls, name)
+	if name == r.failOn {
+		return fmt.Errorf("induced failure in %s", name)
+	}
+	return nil
+}
+func (r *recordingWorker) SetServer(n string) error    { return r.record("set_server:" + n) }
+func (r *recordingWorker) SetJMX(u string) error       { return r.record("set_jmx") }
+func (r *recordingWorker) SetIteration(i string) error { return r.record("iter:" + i) }
+func (r *recordingWorker) Initialize() error           { return r.record("initialize") }
+func (r *recordingWorker) LogStart() error             { return r.record("log_start") }
+func (r *recordingWorker) LogStop() error              { return r.record("log_stop") }
+func (r *recordingWorker) StopServer() error           { return r.record("stop_server") }
+func (r *recordingWorker) Connect() error              { return r.record("connect") }
+func (r *recordingWorker) Convert() error              { return r.record("convert") }
+func (r *recordingWorker) Exit() {
+	r.mu.Lock()
+	r.exited = true
+	r.mu.Unlock()
+}
+func (r *recordingWorker) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.calls...)
+}
+
+func startControlPlane(t *testing.T, workers ...*recordingWorker) (*Controller, []*Client) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	ctrl := NewController()
+	go ctrl.Serve(ln)
+
+	var clients []*Client
+	for _, w := range workers {
+		c, err := NewClient(ln.Addr().String(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		clients = append(clients, c)
+	}
+	if err := ctrl.WaitForWorkers(len(workers), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return ctrl, clients
+}
+
+func TestFullIterationSequence(t *testing.T) {
+	srv := &recordingWorker{}
+	emu := &recordingWorker{}
+	ctrl, _ := startControlPlane(t, srv, emu)
+
+	if err := ctrl.RunIteration(0, 1, 3, "Forge", 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	wantSrv := []string{"set_server:Forge", "iter:3", "initialize", "log_start", "log_stop", "stop_server"}
+	gotSrv := srv.snapshot()
+	if len(gotSrv) != len(wantSrv) {
+		t.Fatalf("server calls = %v, want %v", gotSrv, wantSrv)
+	}
+	for i := range wantSrv {
+		if gotSrv[i] != wantSrv[i] {
+			t.Fatalf("server call %d = %q, want %q", i, gotSrv[i], wantSrv[i])
+		}
+	}
+	wantEmu := []string{"set_server:Forge", "iter:3", "connect", "convert"}
+	gotEmu := emu.snapshot()
+	if len(gotEmu) != len(wantEmu) {
+		t.Fatalf("emulation calls = %v, want %v", gotEmu, wantEmu)
+	}
+}
+
+func TestErrPropagation(t *testing.T) {
+	srv := &recordingWorker{failOn: "initialize"}
+	ctrl, _ := startControlPlane(t, srv)
+	if err := ctrl.Send(0, Message{Type: MsgInitialize}); err == nil {
+		t.Fatal("expected error from failing worker")
+	}
+	// The control plane must remain usable after an error.
+	if err := ctrl.Send(0, Message{Type: MsgLogStart}); err != nil {
+		t.Fatalf("control plane dead after error: %v", err)
+	}
+}
+
+func TestKeepAliveAndExit(t *testing.T) {
+	w := &recordingWorker{}
+	ctrl, clients := startControlPlane(t, w)
+	// Keep-alives are fire-and-forget no-ops.
+	if err := ctrl.Send(0, Message{Type: MsgKeepAlive}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Send(0, Message{Type: MsgExit}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-clients[0].Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not exit")
+	}
+	w.mu.Lock()
+	exited := w.exited
+	w.mu.Unlock()
+	if !exited {
+		t.Fatal("worker Exit hook not called")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	a, b := &recordingWorker{}, &recordingWorker{}
+	ctrl, _ := startControlPlane(t, a, b)
+	if err := ctrl.Broadcast(Message{Type: MsgLogStart}); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.snapshot()) != 1 || len(b.snapshot()) != 1 {
+		t.Fatal("broadcast did not reach all workers")
+	}
+}
+
+func TestWaitForWorkersTimeout(t *testing.T) {
+	ctrl := NewController()
+	if err := ctrl.WaitForWorkers(1, 50*time.Millisecond); err == nil {
+		t.Fatal("expected timeout with no workers")
+	}
+}
+
+func TestSendToUnknownWorker(t *testing.T) {
+	ctrl := NewController()
+	if err := ctrl.Send(3, Message{Type: MsgLogStart}); err == nil {
+		t.Fatal("expected error for unknown worker index")
+	}
+}

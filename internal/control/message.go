@@ -1,0 +1,110 @@
+// Package control implements Meterstick's control plane (Figure 5,
+// components 3 and 4): a Controller/Worker pattern in which the Control
+// Server holds the operation logic and synchronizes the workers (player-
+// emulation nodes and the MLG node) by exchanging exactly the messages
+// listed in Table 1 of the paper, as a newline-delimited text protocol over
+// TCP.
+package control
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MsgType is a control-message type (Table 1).
+type MsgType string
+
+// The Table 1 message set.
+const (
+	MsgSetServer  MsgType = "set_server"  // specifies name of server (Y/M)
+	MsgSetJMX     MsgType = "set_jmx"     // specifies metric-externalizer URL (M)
+	MsgIter       MsgType = "iter"        // specifies what iteration to start at (Y/M)
+	MsgInitialize MsgType = "initialize"  // starts the selected server (M)
+	MsgLogStart   MsgType = "log_start"   // starts metric logging tools (M)
+	MsgLogStop    MsgType = "log_stop"    // stops metric logging tools (M)
+	MsgStopServer MsgType = "stop_server" // stops running server (M)
+	MsgConnect    MsgType = "connect"     // starts player emulation (Y)
+	MsgConvert    MsgType = "convert"     // converts metric bin files to CSV (Y)
+	MsgOK         MsgType = "ok"          // acknowledges the previous message (C)
+	MsgKeepAlive  MsgType = "keep_alive"  // no-op, keeps TCP connection open (M/Y)
+	MsgErr        MsgType = "err"         // previous message has caused error (C)
+	MsgExit       MsgType = "exit"        // stops the controller client (M/Y)
+)
+
+// Message is one control-plane message: a type plus an optional argument
+// (the part after the colon in "set_server:vanilla").
+type Message struct {
+	Type MsgType
+	Arg  string
+}
+
+// String formats the message for the wire (without the trailing newline).
+func (m Message) String() string {
+	if m.Arg == "" {
+		return string(m.Type)
+	}
+	return string(m.Type) + ":" + m.Arg
+}
+
+// Parse decodes one wire line into a Message.
+func Parse(line string) (Message, error) {
+	line = strings.TrimRight(line, "\r\n")
+	if line == "" {
+		return Message{}, fmt.Errorf("control: empty message")
+	}
+	typ, arg, _ := strings.Cut(line, ":")
+	m := Message{Type: MsgType(typ), Arg: arg}
+	if !m.valid() {
+		return Message{}, fmt.Errorf("control: unknown message type %q", typ)
+	}
+	return m, nil
+}
+
+func (m Message) valid() bool {
+	switch m.Type {
+	case MsgSetServer, MsgSetJMX, MsgIter, MsgInitialize, MsgLogStart,
+		MsgLogStop, MsgStopServer, MsgConnect, MsgConvert, MsgOK,
+		MsgKeepAlive, MsgErr, MsgExit:
+		return true
+	default:
+		return false
+	}
+}
+
+// Dest identifies which node kind a message is addressed to, as the Table 1
+// "Dest" column: Y = player emulation, M = server (MLG) node, C =
+// controller.
+type Dest string
+
+// Destinations.
+const (
+	DestEmulation  Dest = "Y"
+	DestServer     Dest = "M"
+	DestController Dest = "C"
+)
+
+// MessageInfo is one Table 1 row.
+type MessageInfo struct {
+	Type   MsgType
+	Effect string
+	Dest   []Dest
+}
+
+// Table1 returns the controller-message inventory exactly as in Table 1.
+func Table1() []MessageInfo {
+	return []MessageInfo{
+		{MsgSetServer, "Specifies name of server", []Dest{DestEmulation, DestServer}},
+		{MsgSetJMX, "Specifies JMX URL", []Dest{DestServer}},
+		{MsgIter, "Specifies what iteration to start at", []Dest{DestEmulation, DestServer}},
+		{MsgInitialize, "Starts the selected server", []Dest{DestServer}},
+		{MsgLogStart, "Starts metric logging tools", []Dest{DestServer}},
+		{MsgLogStop, "Stops metric logging tools", []Dest{DestServer}},
+		{MsgStopServer, "Stops running server", []Dest{DestServer}},
+		{MsgConnect, "Starts player emulation", []Dest{DestEmulation}},
+		{MsgConvert, "Converts metric bin files to CSV", []Dest{DestEmulation}},
+		{MsgOK, "Acknowledges the previous message", []Dest{DestController}},
+		{MsgKeepAlive, "No-op, keeps TCP connection open", []Dest{DestServer, DestEmulation}},
+		{MsgErr, "Previous message has caused error", []Dest{DestController}},
+		{MsgExit, "Stops the controller client", []Dest{DestServer, DestEmulation}},
+	}
+}

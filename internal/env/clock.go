@@ -1,0 +1,75 @@
+// Package env models the deployment environments Meterstick runs MLGs in:
+// self-hosted dedicated hardware (DAS-5) and commercial clouds (Amazon AWS,
+// Microsoft Azure), at several node sizes.
+//
+// The paper ran on real t3.large/xlarge/2xlarge, Standard_D2_v3 and DAS-5
+// nodes. Those are unavailable here, so this package substitutes a synthetic
+// environment with the variability mechanisms the paper attributes cloud
+// behaviour to (§5.4): slower shared cores, CPU-steal bursts from shared
+// tenancy, scheduling jitter, per-placement luck across iterations, and — for
+// AWS T3 instances — burstable CPU credits with baseline throttling. The
+// game engine reports per-tick work in reference-core microseconds; a Machine
+// converts that work into a tick compute time under its profile.
+//
+// Two clocks are provided: a RealClock for wall-clock deployments over real
+// TCP, and a VirtualClock that makes experiment reproduction deterministic
+// and much faster than real time.
+package env
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so the benchmark can run either in real time or in
+// deterministic virtual time.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep advances past d. On a real clock it blocks; on a virtual clock it
+	// advances the clock instantly.
+	Sleep(d time.Duration)
+}
+
+// RealClock is a Clock backed by the system clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// VirtualClock is a deterministic, manually advanced Clock. Sleep advances
+// the clock immediately, so a 60-second experiment completes in the time it
+// takes to simulate its ticks. VirtualClock is safe for concurrent use.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a VirtualClock starting at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock by advancing the clock by d without blocking.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Advance is an explicit alias of Sleep for callers that advance the clock on
+// behalf of simulated work rather than waiting.
+func (c *VirtualClock) Advance(d time.Duration) { c.Sleep(d) }

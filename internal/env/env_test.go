@@ -1,0 +1,293 @@
+package env
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVirtualClockAdvances(t *testing.T) {
+	start := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewVirtualClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.Sleep(50 * time.Millisecond)
+	c.Advance(time.Second)
+	want := start.Add(1050 * time.Millisecond)
+	if !c.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", c.Now(), want)
+	}
+	c.Sleep(-time.Second) // negative sleeps must not rewind time
+	if !c.Now().Equal(want) {
+		t.Fatalf("negative sleep moved clock to %v", c.Now())
+	}
+}
+
+func TestVirtualClockConcurrentSafety(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0))
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				c.Sleep(time.Millisecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := c.Now(); !got.Equal(time.Unix(0, 0).Add(8 * time.Second)) {
+		t.Fatalf("concurrent sleeps lost updates: %v", got)
+	}
+}
+
+func TestMachineDeterministic(t *testing.T) {
+	w := Work{EntityUS: 30000, BlockUpdateUS: 5000, ParallelFraction: 0.4, Threads: 4}
+	a := NewMachine(AWSLarge, 99)
+	b := NewMachine(AWSLarge, 99)
+	for i := 0; i < 200; i++ {
+		if da, db := a.TickComputeTime(w), b.TickComputeTime(w); da != db {
+			t.Fatalf("tick %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if ra, rb := a.NetRTT(), b.NetRTT(); ra != rb {
+			t.Fatalf("tick %d: RTT diverged", i)
+		}
+	}
+}
+
+func TestMachineZeroWork(t *testing.T) {
+	m := NewMachine(DAS5TwoCore, 1)
+	if d := m.TickComputeTime(Work{}); d != 0 {
+		t.Fatalf("zero work took %v", d)
+	}
+}
+
+func TestDAS5IsNearDeterministic(t *testing.T) {
+	// Self-hosted hardware should show only small jitter: the ratio of max
+	// to min tick time over a long run stays close to 1. GC pauses are the
+	// one exception on any host, so they are disabled for this check.
+	prof := DAS5TwoCore
+	prof.GCPauseProb = 0
+	m := NewMachine(prof, 7)
+	w := Work{EntityUS: 20000, ParallelFraction: 0.3, Threads: 2}
+	min, max := math.Inf(1), 0.0
+	for i := 0; i < 2000; i++ {
+		d := float64(m.TickComputeTime(w))
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max/min > 1.3 {
+		t.Fatalf("DAS-5 jitter ratio %v, want < 1.3", max/min)
+	}
+}
+
+func TestCloudHasMoreVariabilityThanSelfHosted(t *testing.T) {
+	// MF3 precondition: across iterations (machines), cloud tick times vary
+	// more than DAS-5 ones. Compare coefficient of variation of mean tick
+	// time across 40 machines.
+	w := Work{EntityUS: 25000, BlockUpdateUS: 8000, ParallelFraction: 0.35, Threads: 3}
+	cv := func(p Profile) float64 {
+		var means []float64
+		for seed := int64(0); seed < 40; seed++ {
+			m := NewMachine(p, seed)
+			var sum float64
+			for i := 0; i < 300; i++ {
+				sum += float64(m.TickComputeTime(w))
+			}
+			means = append(means, sum/300)
+		}
+		var mu, ss float64
+		for _, v := range means {
+			mu += v
+		}
+		mu /= float64(len(means))
+		for _, v := range means {
+			ss += (v - mu) * (v - mu)
+		}
+		return math.Sqrt(ss/float64(len(means))) / mu
+	}
+	das5, aws, azure := cv(DAS5TwoCore), cv(AWSLarge), cv(AzureD2)
+	if aws <= das5*2 {
+		t.Errorf("AWS iteration CV %v should be well above DAS-5 %v", aws, das5)
+	}
+	if azure <= das5*2 {
+		t.Errorf("Azure iteration CV %v should be well above DAS-5 %v", azure, das5)
+	}
+}
+
+func TestMoreVCPUsReduceParallelWorkTime(t *testing.T) {
+	// MF5 precondition: for parallel-capable work, 2XL < XL < L mean tick
+	// compute time.
+	w := Work{EntityUS: 60000, BlockUpdateUS: 20000, ParallelFraction: 0.5, Threads: 8}
+	mean := func(p Profile) float64 {
+		var sum float64
+		for seed := int64(0); seed < 10; seed++ {
+			m := NewMachine(p, seed)
+			for i := 0; i < 200; i++ {
+				sum += float64(m.TickComputeTime(w))
+			}
+		}
+		return sum / 2000
+	}
+	l, xl, xxl := mean(AWSLarge), mean(AWSXLarge), mean(AWS2XLarge)
+	if !(xxl < xl && xl < l) {
+		t.Fatalf("node ladder not monotone: L=%v XL=%v 2XL=%v", l, xl, xxl)
+	}
+}
+
+func TestBurstableThrottlingEngages(t *testing.T) {
+	// Sustained heavy load on a t3 must exhaust credits and throttle,
+	// multiplying compute time by 1/baseline.
+	m := NewMachine(AWSLarge, 3)
+	heavy := Work{EntityUS: 400000, ParallelFraction: 0.3, Threads: 2} // 400 ms of demand per tick
+	var before, after time.Duration
+	for i := 0; i < 400; i++ {
+		d := m.TickComputeTime(heavy)
+		if i == 0 {
+			before = d
+		}
+		after = d
+	}
+	if !m.Throttled() {
+		t.Fatal("machine never throttled under sustained heavy load")
+	}
+	if after < time.Duration(float64(before)*1.5) {
+		t.Fatalf("throttled tick %v not clearly slower than burst tick %v", after, before)
+	}
+}
+
+func TestBurstableLightLoadNeverThrottles(t *testing.T) {
+	prof := AWSLarge
+	prof.GCPauseProb = 0 // rare long pauses would add demand noise
+	m := NewMachine(prof, 5)
+	light := Work{EntityUS: 8000, UpkeepUS: 4000, ParallelFraction: 0.3, Threads: 2} // 12 ms/tick, under baseline
+	for i := 0; i < 5000; i++ {
+		m.TickComputeTime(light)
+	}
+	if m.Throttled() {
+		t.Fatal("machine throttled under light load")
+	}
+}
+
+func TestContentionPenalizesExtraThreads(t *testing.T) {
+	// On shared tenancy, running 8 threads on 2 vCPUs must cost more than 2
+	// threads for the same work (Paper-on-AWS mechanism from MF3).
+	base := Work{EntityUS: 30000, ParallelFraction: 0.3, Threads: 2}
+	many := base
+	many.Threads = 8
+	meanFor := func(w Work) float64 {
+		var sum float64
+		for seed := int64(0); seed < 20; seed++ {
+			m := NewMachine(AWSLarge, seed)
+			for i := 0; i < 100; i++ {
+				sum += float64(m.TickComputeTime(w))
+			}
+		}
+		return sum / 2000
+	}
+	if a, b := meanFor(base), meanFor(many); b <= a {
+		t.Fatalf("8 threads (%v) should cost more than 2 threads (%v) on 2 vCPUs", b, a)
+	}
+}
+
+func TestWorkTotals(t *testing.T) {
+	w := Work{PlayerUS: 1, BlockUpdateUS: 2, BlockAddRemoveUS: 3, EntityUS: 4, LightUS: 5, NetworkUS: 6, UpkeepUS: 7}
+	if got := w.TotalUS(); got != 28 {
+		t.Fatalf("TotalUS = %v, want 28", got)
+	}
+	if got := w.OtherUS(); got != 18 {
+		t.Fatalf("OtherUS = %v, want 18", got)
+	}
+	var acc Work
+	acc.Add(w)
+	acc.Add(w)
+	if acc.TotalUS() != 56 {
+		t.Fatalf("Add accumulated %v, want 56", acc.TotalUS())
+	}
+}
+
+// Property: compute time is positive and scales monotonically with work.
+func TestComputeTimeMonotoneProperty(t *testing.T) {
+	f := func(seed int64, base uint16) bool {
+		m1 := NewMachine(DAS5TwoCore, seed)
+		m2 := NewMachine(DAS5TwoCore, seed)
+		small := Work{EntityUS: float64(base%10000) + 1, ParallelFraction: 0.3, Threads: 2}
+		big := small
+		big.EntityUS *= 3
+		d1 := m1.TickComputeTime(small)
+		d2 := m2.TickComputeTime(big)
+		return d1 > 0 && d2 > d1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetRTTPositiveAndVariable(t *testing.T) {
+	m := NewMachine(AWSLarge, 9)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		rtt := m.NetRTT()
+		if rtt <= 0 {
+			t.Fatalf("non-positive RTT %v", rtt)
+		}
+		seen[rtt] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("RTT not variable: %d distinct values", len(seen))
+	}
+}
+
+func TestProviderString(t *testing.T) {
+	if SelfHosted.String() != "DAS5" || AWS.String() != "AWS" || Azure.String() != "Azure" {
+		t.Fatal("provider names wrong")
+	}
+	if Provider(99).String() != "unknown" {
+		t.Fatal("unknown provider name wrong")
+	}
+}
+
+func TestStandardProfiles(t *testing.T) {
+	profs := StandardProfiles()
+	if len(profs) != 6 {
+		t.Fatalf("profiles = %d, want 6", len(profs))
+	}
+	for name, p := range profs {
+		if p.Name != name {
+			t.Errorf("profile %q keyed as %q", p.Name, name)
+		}
+		if p.VCPUs < 1 || p.CoreSpeed <= 0 || p.ConnTimeout <= 0 {
+			t.Errorf("profile %q has invalid fields: %+v", name, p)
+		}
+	}
+	sizes := NodeSizes()
+	if len(sizes) != 3 || sizes[0].VCPUs != 2 || sizes[1].VCPUs != 4 || sizes[2].VCPUs != 8 {
+		t.Fatalf("NodeSizes ladder wrong: %+v", sizes)
+	}
+}
+
+func TestTable7Dataset(t *testing.T) {
+	rows := Table7()
+	if len(rows) != 23 {
+		t.Fatalf("Table 7 rows = %d, want 23 (21 hosts + Azure + AWS)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Service == "" || r.RAMGB <= 0 {
+			t.Errorf("bad row: %+v", r)
+		}
+		if r.VCPUsNP && r.VCPUs != 0 {
+			t.Errorf("row %q marked NP but has vCPUs", r.Service)
+		}
+	}
+	v, ram := ModalRecommendation()
+	if v != 2 || ram != 4 {
+		t.Fatalf("modal recommendation = %d vCPU / %v GB, want 2 / 4", v, ram)
+	}
+}

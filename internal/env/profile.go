@@ -1,0 +1,196 @@
+package env
+
+import "time"
+
+// Provider identifies the hosting provider class of a deployment environment.
+type Provider int
+
+// Providers evaluated in the paper (§5.1.2).
+const (
+	// SelfHosted models DAS-5: dedicated hardware, no tenancy sharing.
+	SelfHosted Provider = iota
+	// AWS models Amazon EC2 burstable T3 instances.
+	AWS
+	// Azure models Microsoft Azure Dv3 instances.
+	Azure
+)
+
+// String returns the provider name.
+func (p Provider) String() string {
+	switch p {
+	case SelfHosted:
+		return "DAS5"
+	case AWS:
+		return "AWS"
+	case Azure:
+		return "Azure"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile describes a deployment environment: its compute capacity and the
+// variability mechanisms it is subject to. All speed factors are relative to
+// a DAS-5 reference core (2.4 GHz dedicated), the unit the engine's cost
+// model is calibrated in.
+type Profile struct {
+	// Name identifies the profile in reports, e.g. "AWS-t3.large".
+	Name string
+	// Provider is the hosting provider class.
+	Provider Provider
+	// VCPUs is the number of virtual CPUs available to the MLG.
+	VCPUs int
+	// CoreSpeed is the per-core speed relative to the reference core.
+	CoreSpeed float64
+
+	// Burstable marks CPU-credit instances (AWS T3). When credits are
+	// exhausted, per-core speed is multiplied by BaselineFraction.
+	Burstable bool
+	// BaselineFraction is the sustained per-vCPU capacity of a burstable
+	// instance (0.3 for t3.large per AWS documentation).
+	BaselineFraction float64
+	// InitialCreditsMin/Max bound the CPU credit balance (in CPU-seconds of
+	// burst above baseline) a fresh iteration starts with. The spread models
+	// instance history and contributes to iteration-to-iteration variance.
+	InitialCreditsMin float64
+	InitialCreditsMax float64
+
+	// StealProb is the per-tick probability of a CPU-steal event from a
+	// noisy neighbour; StealSeverity multiplies compute time during one.
+	StealProb     float64
+	StealSeverity float64
+	// JitterSigma is the sigma of the lognormal noise multiplied into every
+	// tick's compute time (hypervisor scheduling noise).
+	JitterSigma float64
+	// PlacementSigma is the sigma of the lognormal per-iteration placement
+	// factor: some instances land on busier or slower hosts. Sampled once
+	// per Machine.
+	PlacementSigma float64
+	// BusyHostProb is the probability that an iteration lands on a busy host
+	// whose parallel capacity is degraded by BusyHostFactor. This models the
+	// bimodal placement behaviour observed on Azure, which penalizes MLGs
+	// that rely on parallelism (PaperMC) more than single-threaded ones.
+	BusyHostProb   float64
+	BusyHostFactor float64
+	// ContentionPenalty scales the slowdown applied when the MLG runs more
+	// active threads than vCPUs on shared-tenancy hardware. Dedicated hosts
+	// have 0.
+	ContentionPenalty float64
+
+	// NetBaseRTT is the median client<->server round-trip time and
+	// NetJitterSigma the lognormal sigma of its variation.
+	NetBaseRTT     time.Duration
+	NetJitterSigma float64
+
+	// GCPauseProb is the per-tick probability of a JVM garbage-collection
+	// pause (the MLGs under test run on the JVM); the pause length is
+	// uniform in [GCPauseMinMS, GCPauseMaxMS] and is added to the tick's
+	// compute time. GC pauses are a major source of the isolated tick
+	// spikes visible even on dedicated hardware.
+	GCPauseProb  float64
+	GCPauseMinMS float64
+	GCPauseMaxMS float64
+
+	// ConnTimeout is how long a client waits without any server traffic
+	// before disconnecting. A tick longer than this starves keep-alives and
+	// drops all players — the crash mechanism behind the Lag workload on AWS
+	// (§5.3: "the player's connection to time-out, forcing each MLG to
+	// stop").
+	ConnTimeout time.Duration
+}
+
+// Standard profiles used by the paper's experiments. The DAS-5 node is a
+// dual 8-core 2.4 GHz machine; the paper limits the MLG to two cores via CPU
+// affinity except where "16-core" is stated. AWS sizes follow the T3 family:
+// L = t3.large (2 vCPU), XL = t3.xlarge (4 vCPU), 2XL = t3.2xlarge (8 vCPU).
+// Azure is Standard_D2_v3 (2 vCPU, non-burstable).
+var (
+	// DAS5TwoCore is the self-hosted baseline: dedicated cores, minimal
+	// variability, CPU affinity limited to 2 cores.
+	DAS5TwoCore = Profile{
+		Name: "DAS5-2core", Provider: SelfHosted, VCPUs: 2, CoreSpeed: 1.0,
+		JitterSigma: 0.015, PlacementSigma: 0.01,
+		NetBaseRTT: 400 * time.Microsecond, NetJitterSigma: 0.10,
+		GCPauseProb: 0.003, GCPauseMinMS: 50, GCPauseMaxMS: 200,
+		ConnTimeout: 8 * time.Second,
+	}
+	// DAS5SixteenCore lifts the affinity mask to the full dual 8-core node.
+	DAS5SixteenCore = Profile{
+		Name: "DAS5-16core", Provider: SelfHosted, VCPUs: 16, CoreSpeed: 1.0,
+		JitterSigma: 0.015, PlacementSigma: 0.01,
+		NetBaseRTT: 400 * time.Microsecond, NetJitterSigma: 0.10,
+		GCPauseProb: 0.003, GCPauseMinMS: 50, GCPauseMaxMS: 200,
+		ConnTimeout: 8 * time.Second,
+	}
+	// AWSLarge is t3.large: 2 burstable vCPUs, the hosting-company
+	// recommended size (Table 7) and the paper's default cloud node.
+	AWSLarge = Profile{
+		Name: "AWS-t3.large", Provider: AWS, VCPUs: 2, CoreSpeed: 0.85,
+		Burstable: true, BaselineFraction: 0.30,
+		InitialCreditsMin: 10, InitialCreditsMax: 25,
+		StealProb: 0.035, StealSeverity: 2.6,
+		JitterSigma: 0.19, PlacementSigma: 0.07,
+		BusyHostProb: 0.06, BusyHostFactor: 1.5,
+		ContentionPenalty: 0.18,
+		NetBaseRTT:        1500 * time.Microsecond, NetJitterSigma: 0.35,
+		GCPauseProb: 0.005, GCPauseMinMS: 80, GCPauseMaxMS: 400,
+		ConnTimeout: 8 * time.Second,
+	}
+	// AWSXLarge is t3.xlarge: 4 burstable vCPUs.
+	AWSXLarge = Profile{
+		Name: "AWS-t3.xlarge", Provider: AWS, VCPUs: 4, CoreSpeed: 0.85,
+		Burstable: true, BaselineFraction: 0.40,
+		InitialCreditsMin: 40, InitialCreditsMax: 120,
+		StealProb: 0.030, StealSeverity: 2.3,
+		JitterSigma: 0.14, PlacementSigma: 0.06,
+		BusyHostProb: 0.05, BusyHostFactor: 1.4,
+		ContentionPenalty: 0.15,
+		NetBaseRTT:        1500 * time.Microsecond, NetJitterSigma: 0.35,
+		GCPauseProb: 0.005, GCPauseMinMS: 70, GCPauseMaxMS: 350,
+		ConnTimeout: 8 * time.Second,
+	}
+	// AWS2XLarge is t3.2xlarge: 8 burstable vCPUs, the size the paper finds
+	// necessary for smooth operation (I4).
+	AWS2XLarge = Profile{
+		Name: "AWS-t3.2xlarge", Provider: AWS, VCPUs: 8, CoreSpeed: 0.85,
+		Burstable: true, BaselineFraction: 0.40,
+		InitialCreditsMin: 80, InitialCreditsMax: 240,
+		StealProb: 0.025, StealSeverity: 2.0,
+		JitterSigma: 0.12, PlacementSigma: 0.05,
+		BusyHostProb: 0.04, BusyHostFactor: 1.3,
+		ContentionPenalty: 0.12,
+		NetBaseRTT:        1500 * time.Microsecond, NetJitterSigma: 0.35,
+		GCPauseProb: 0.005, GCPauseMinMS: 60, GCPauseMaxMS: 300,
+		ConnTimeout: 8 * time.Second,
+	}
+	// AzureD2 is Standard_D2_v3: 2 non-burstable vCPUs. Azure Dv3 hosts are
+	// oversubscribed but not credit-throttled; placement is bimodal (busy vs
+	// quiet hosts), which mostly penalizes parallel-heavy MLGs.
+	AzureD2 = Profile{
+		Name: "Azure-D2v3", Provider: Azure, VCPUs: 2, CoreSpeed: 0.78,
+		StealProb: 0.045, StealSeverity: 2.3,
+		JitterSigma: 0.17, PlacementSigma: 0.05,
+		BusyHostProb: 0.30, BusyHostFactor: 2.2,
+		ContentionPenalty: 0.06,
+		NetBaseRTT:        1600 * time.Microsecond, NetJitterSigma: 0.32,
+		GCPauseProb: 0.005, GCPauseMinMS: 70, GCPauseMaxMS: 350,
+		ConnTimeout: 8 * time.Second,
+	}
+)
+
+// NodeSizes returns the AWS node-size ladder used by the MF5 experiment
+// (Figure 12), ordered L, XL, 2XL.
+func NodeSizes() []Profile { return []Profile{AWSLarge, AWSXLarge, AWS2XLarge} }
+
+// StandardProfiles returns every predefined profile, keyed for lookup by
+// configuration files.
+func StandardProfiles() map[string]Profile {
+	return map[string]Profile{
+		DAS5TwoCore.Name:     DAS5TwoCore,
+		DAS5SixteenCore.Name: DAS5SixteenCore,
+		AWSLarge.Name:        AWSLarge,
+		AWSXLarge.Name:       AWSXLarge,
+		AWS2XLarge.Name:      AWS2XLarge,
+		AzureD2.Name:         AzureD2,
+	}
+}

@@ -1,0 +1,74 @@
+package env
+
+// Recommendation is one row of Table 7: the hardware configuration a
+// commercial Minecraft-hosting company recommends (or sells as its default
+// plan). Fields the company does not publish are zero with the corresponding
+// flag set.
+type Recommendation struct {
+	Service     string
+	RAMGB       float64
+	VCPUs       int  // 0 when not provided
+	VCPUsNP     bool // company does not publish vCPU count
+	CPUSpeedGHz float64
+	SpeedNP     bool // company does not publish CPU speed
+	SpeedVar    bool // speed is variable (cloud-provider guidance rows)
+}
+
+// Table7 returns the hardware-recommendation survey from Table 7 of the
+// paper: 21 commercial MLG hosting companies plus the Azure and AWS tutorial
+// guidance. The modal configuration — 2 vCPUs and 4 GB RAM — is what the
+// paper's L node size reproduces, and what MF5 shows to be insufficient.
+func Table7() []Recommendation {
+	return []Recommendation{
+		{Service: "Hostinger", RAMGB: 3, VCPUs: 3, SpeedNP: true},
+		{Service: "Server.pro", RAMGB: 4, VCPUs: 2, CPUSpeedGHz: 2.4},
+		{Service: "Skynode", RAMGB: 4, VCPUs: 2, CPUSpeedGHz: 3.6},
+		{Service: "ScalaCube", RAMGB: 3, VCPUs: 2, CPUSpeedGHz: 3.4},
+		{Service: "Nodecraft", RAMGB: 4, VCPUsNP: true, CPUSpeedGHz: 3.8},
+		{Service: "Apex Hosting", RAMGB: 4, VCPUsNP: true, CPUSpeedGHz: 3.9},
+		{Service: "GGServers", RAMGB: 4, VCPUsNP: true, CPUSpeedGHz: 3.2},
+		{Service: "BisectHosting", RAMGB: 4, VCPUsNP: true, CPUSpeedGHz: 3.4},
+		{Service: "Shockbyte", RAMGB: 4, VCPUsNP: true, CPUSpeedGHz: 4.0},
+		{Service: "CubedHost", RAMGB: 2.5, VCPUsNP: true, CPUSpeedGHz: 4.5},
+		{Service: "ServerMiner", RAMGB: 3, VCPUsNP: true, CPUSpeedGHz: 4.0},
+		{Service: "Akliz", RAMGB: 4, VCPUsNP: true, CPUSpeedGHz: 3.4},
+		{Service: "RamShard", RAMGB: 2, VCPUsNP: true, CPUSpeedGHz: 4.0},
+		{Service: "MCProHosting", RAMGB: 2, VCPUsNP: true, SpeedNP: true},
+		{Service: "GTXGaming", RAMGB: 3, VCPUsNP: true, CPUSpeedGHz: 3.8},
+		{Service: "StickyPiston", RAMGB: 2.5, VCPUsNP: true, SpeedNP: true},
+		{Service: "HostHavoc", RAMGB: 4, VCPUsNP: true, CPUSpeedGHz: 4},
+		{Service: "Ferox Hosting", RAMGB: 4, VCPUsNP: true, SpeedNP: true},
+		{Service: "Aquatis", RAMGB: 4, VCPUsNP: true, CPUSpeedGHz: 4.2},
+		{Service: "PebbleHost", RAMGB: 3, VCPUsNP: true, CPUSpeedGHz: 3.7},
+		{Service: "MelonCube", RAMGB: 4, VCPUsNP: true, CPUSpeedGHz: 3.4},
+		{Service: "Azure", RAMGB: 4, VCPUs: 2, SpeedVar: true},
+		{Service: "AWS", RAMGB: 1, VCPUs: 1, SpeedVar: true},
+	}
+}
+
+// ModalRecommendation returns the most common published (vCPU, RAM)
+// configuration across Table 7 — the "recommended hardware" MF5 evaluates.
+func ModalRecommendation() (vcpus int, ramGB float64) {
+	type key struct {
+		v int
+		r float64
+	}
+	counts := map[key]int{}
+	recs := Table7()
+	for _, r := range recs {
+		if r.VCPUsNP || r.VCPUs == 0 {
+			continue
+		}
+		counts[key{r.VCPUs, r.RAMGB}]++
+	}
+	var best key
+	bestN := -1
+	for k, n := range counts {
+		if n > bestN || (n == bestN && (k.v > best.v || (k.v == best.v && k.r > best.r))) {
+			best, bestN = k, n
+		}
+	}
+	// RAM alone is also surveyed across all rows; the paper states 2 vCPU /
+	// 4 GB is the most common configuration.
+	return best.v, best.r
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAllanVarianceConstantTrace(t *testing.T) {
+	trace := []float64{50, 50, 50, 50}
+	if got := AllanVariance(trace); got != 0 {
+		t.Errorf("Allan variance of constant trace = %v, want 0", got)
+	}
+	if got := AllanVariance([]float64{1}); got != 0 {
+		t.Errorf("Allan variance of single sample = %v, want 0", got)
+	}
+}
+
+func TestAllanVarianceKnownValue(t *testing.T) {
+	// Alternating 0/2: every consecutive difference is ±2, squared = 4.
+	// σ²_A = (N-1)·4 / (2(N-1)) = 2.
+	trace := []float64{0, 2, 0, 2, 0, 2}
+	if got := AllanVariance(trace); !almostEqual(got, 2, 1e-9) {
+		t.Errorf("Allan variance = %v, want 2", got)
+	}
+	if got := AllanDeviation(trace); !almostEqual(got, math.Sqrt2, 1e-9) {
+		t.Errorf("Allan deviation = %v, want √2", got)
+	}
+}
+
+func TestRFC3550JitterConvergesToConstantDelta(t *testing.T) {
+	// For a long alternating trace with |Δ| = d everywhere, the smoothed
+	// estimator converges to d.
+	trace := make([]float64, 2000)
+	for i := range trace {
+		if i%2 == 0 {
+			trace[i] = 50
+		} else {
+			trace[i] = 150
+		}
+	}
+	if got := RFC3550Jitter(trace); !almostEqual(got, 100, 0.5) {
+		t.Errorf("jitter = %v, want ≈100", got)
+	}
+	if got := RFC3550Jitter([]float64{50}); got != 0 {
+		t.Errorf("jitter of single sample = %v, want 0", got)
+	}
+}
+
+func TestCycleToCycleJitter(t *testing.T) {
+	trace := []float64{50, 80, 30, 30}
+	got := CycleToCycleJitter(trace)
+	want := []float64{30, 50, 0}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("jitter[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := MaxCycleToCycleJitter(trace); got != 50 {
+		t.Errorf("max jitter = %v, want 50", got)
+	}
+	if got := CycleToCycleJitter([]float64{1}); got != nil {
+		t.Errorf("jitter of single = %v, want nil", got)
+	}
+}
+
+// Empirically validate the Table 6 property claims.
+
+func TestTable6OrderDependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	trace := make([]float64, 500)
+	var dur float64
+	for i := range trace {
+		trace[i] = 50
+		if i%25 == 0 {
+			trace[i] = 800
+		}
+		dur += math.Max(50, trace[i])
+	}
+	shuffled := append([]float64(nil), trace...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	// Standard deviation is order independent: identical across orderings.
+	if a, b := StdDev(trace), StdDev(shuffled); !almostEqual(a, b, 1e-9) {
+		t.Errorf("stddev should be order independent: %v vs %v", a, b)
+	}
+
+	// Order-dependent metrics (Allan, jitter, ISR) distinguish clustered from
+	// spread outliers.
+	clustered := FrontLoadedOutlierTrace(500, 20, 16, 50)
+	spread := SpreadOutlierTrace(500, 20, 16, 50)
+	if a, b := AllanVariance(clustered), AllanVariance(spread); a >= b {
+		t.Errorf("Allan variance not order dependent: clustered %v >= spread %v", a, b)
+	}
+	ne := int(dur / 50)
+	if a, b := ISR(clustered, 50, ne), ISR(spread, 50, ne); a >= b {
+		t.Errorf("ISR not order dependent: clustered %v >= spread %v", a, b)
+	}
+}
+
+func TestTable6Normalization(t *testing.T) {
+	// Scale a spiky trace by 10×: stddev/Allan/jitter scale with it, ISR does
+	// not exceed 1 regardless.
+	rng := rand.New(rand.NewSource(3))
+	small := make([]float64, 400)
+	big := make([]float64, 400)
+	var dur float64
+	for i := range small {
+		v := 50 + rng.Float64()*100
+		small[i], big[i] = v, v*10
+		dur += math.Max(50, v*10)
+	}
+	if StdDev(big) <= StdDev(small) {
+		t.Error("stddev should scale with trace magnitude")
+	}
+	if RFC3550Jitter(big) <= RFC3550Jitter(small) {
+		t.Error("jitter should scale with trace magnitude")
+	}
+	if isr := ISR(big, 50, int(dur/50)); isr < 0 || isr > 1 {
+		t.Errorf("ISR out of [0,1]: %v", isr)
+	}
+}
+
+func TestTable6Rows(t *testing.T) {
+	rows := Table6()
+	if len(rows) != 4 {
+		t.Fatalf("Table6 rows = %d, want 4", len(rows))
+	}
+	byName := map[string]MetricProperties{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["Standard deviation"]; r.OrderDependent || r.IrregularSampling || r.Normalized {
+		t.Errorf("stddev row wrong: %+v", r)
+	}
+	if r := byName["Allan variance"]; !r.OrderDependent || r.IrregularSampling || r.Normalized {
+		t.Errorf("Allan row wrong: %+v", r)
+	}
+	if r := byName["Jitter"]; !r.OrderDependent || !r.IrregularSampling || r.Normalized {
+		t.Errorf("jitter row wrong: %+v", r)
+	}
+	if r := byName["ISR"]; !r.OrderDependent || !r.IrregularSampling || !r.Normalized {
+		t.Errorf("ISR row wrong: %+v", r)
+	}
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics Meterstick reports for a sample,
+// matching the whisker-box presentation used in Figures 7, 10 and 12 of the
+// paper: 5th/25th/50th/75th/95th percentiles, arithmetic mean, extremes, and
+// the interquartile range.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	P5     float64
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+	IQR    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary of the sample. An empty sample yields the zero
+// Summary.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(sorted),
+		P5:     percentileSorted(sorted, 5),
+		P25:    percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		P75:    percentileSorted(sorted, 75),
+		P95:    percentileSorted(sorted, 95),
+		StdDev: StdDev(sorted),
+	}
+	s.IQR = s.P75 - s.P25
+	return s
+}
+
+// Mean returns the arithmetic mean of the sample, or 0 for an empty sample.
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range sample {
+		sum += v
+	}
+	return sum / float64(len(sample))
+}
+
+// StdDev returns the population standard deviation of the sample. As Table 6
+// notes, standard deviation measures dispersion, not stability: it is not
+// order dependent, which is exactly the property ISR adds.
+func StdDev(sample []float64) float64 {
+	if len(sample) < 2 {
+		return 0
+	}
+	m := Mean(sample)
+	var ss float64
+	for _, v := range sample {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(sample)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of the sample using
+// linear interpolation between closest ranks. It copies and sorts internally;
+// use Summarize when several percentiles of the same sample are needed.
+func Percentile(sample []float64, p float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Welford is a streaming mean/variance accumulator. The system-metrics
+// collector uses it to aggregate 2 Hz samples without retaining them all.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a new observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations folded in so far.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running arithmetic mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest observation, or 0 before any Add.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation, or 0 before any Add.
+func (w *Welford) Max() float64 { return w.max }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

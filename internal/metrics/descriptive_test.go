@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(sample)
+	if s.N != 10 {
+		t.Errorf("N = %d, want 10", s.N)
+	}
+	if !almostEqual(s.Mean, 5.5, 1e-9) {
+		t.Errorf("Mean = %v, want 5.5", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 10 {
+		t.Errorf("Min/Max = %v/%v, want 1/10", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 5.5, 1e-9) {
+		t.Errorf("Median = %v, want 5.5", s.Median)
+	}
+	if s.IQR <= 0 {
+		t.Errorf("IQR = %v, want > 0", s.IQR)
+	}
+	if !almostEqual(s.P25, 3.25, 1e-9) || !almostEqual(s.P75, 7.75, 1e-9) {
+		t.Errorf("P25/P75 = %v/%v, want 3.25/7.75", s.P25, s.P75)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero", s)
+	}
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Median != 42 || s.Min != 42 || s.Max != 42 {
+		t.Errorf("Summarize(single) = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	sample := []float64{9, 1, 5, 3}
+	Summarize(sample)
+	want := []float64{9, 1, 5, 3}
+	for i := range sample {
+		if sample[i] != want[i] {
+			t.Fatalf("input mutated: %v", sample)
+		}
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sample := []float64{10, 20, 30, 40}
+	if got := Percentile(sample, 0); got != 10 {
+		t.Errorf("P0 = %v, want 10", got)
+	}
+	if got := Percentile(sample, 100); got != 40 {
+		t.Errorf("P100 = %v, want 40", got)
+	}
+	if got := Percentile(sample, 50); !almostEqual(got, 25, 1e-9) {
+		t.Errorf("P50 = %v, want 25", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestStdDevKnownValue(t *testing.T) {
+	sample := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(sample); !almostEqual(got, 2, 1e-9) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev(single) = %v, want 0", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = float64(v)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			cur := Percentile(sample, p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		s := Summarize(sample)
+		return s.P5 >= s.Min && s.P95 <= s.Max && s.Median >= s.P25 && s.Median <= s.P75
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Welford matches batch mean/stddev.
+func TestWelfordMatchesBatchProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(1000)
+		sample := make([]float64, n)
+		var w Welford
+		for i := range sample {
+			sample[i] = rng.NormFloat64()*10 + 50
+			w.Add(sample[i])
+		}
+		if !almostEqual(w.Mean(), Mean(sample), 1e-6) {
+			t.Fatalf("Welford mean %v != batch %v", w.Mean(), Mean(sample))
+		}
+		if !almostEqual(w.StdDev(), StdDev(sample), 1e-6) {
+			t.Fatalf("Welford stddev %v != batch %v", w.StdDev(), StdDev(sample))
+		}
+		sorted := append([]float64(nil), sample...)
+		sort.Float64s(sorted)
+		if w.Min() != sorted[0] || w.Max() != sorted[len(sorted)-1] {
+			t.Fatalf("Welford min/max mismatch")
+		}
+	}
+}
+
+func TestWelfordZero(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.StdDev() != 0 || w.Variance() != 0 {
+		t.Error("zero Welford should report zeros")
+	}
+	w.Add(3)
+	if w.N() != 1 || w.Mean() != 3 || w.Variance() != 0 {
+		t.Errorf("after one Add: %+v", w)
+	}
+}

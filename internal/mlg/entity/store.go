@@ -1,0 +1,349 @@
+package entity
+
+import (
+	"math/rand"
+
+	"repro/internal/mlg/world"
+)
+
+// Config tunes the entity world, including the flavor-dependent PaperMC
+// optimizations.
+type Config struct {
+	// MaxEntities caps the total entity population (items beyond the cap
+	// are dropped silently, as in production servers under TNT storms).
+	MaxEntities int
+	// MaxMobs caps the mob population for natural + spawner spawning.
+	MaxMobs int
+	// ItemLifetimeTicks is how long an item entity lives (Minecraft: 6000).
+	ItemLifetimeTicks int
+	// MobLifetimeTicks despawns wandering mobs after a while, bounding farm
+	// populations.
+	MobLifetimeTicks int
+	// ActivationRange, when > 0, tick-throttles entities farther than this
+	// many blocks from every player to one tick in four — the PaperMC
+	// entity-activation optimization. 0 disables throttling (vanilla).
+	ActivationRange int
+	// PathNodeBudget caps A* node expansions per path computation.
+	PathNodeBudget int
+	// NaturalSpawning enables ambient mob spawning near players.
+	NaturalSpawning bool
+	// SpawnAttemptsPerTick is the number of natural-spawn placements tried
+	// per tick (each requires a dynamic spawn-point computation, §2.2.3).
+	SpawnAttemptsPerTick int
+	// ItemMergeCells, when > 0, merges newly dropped items into an existing
+	// item entity in the same grid cell of this size — the PaperMC/Spigot
+	// item-merge optimization that keeps TNT storms from flooding the
+	// entity list.
+	ItemMergeCells int
+}
+
+// DefaultConfig returns vanilla-like entity settings.
+func DefaultConfig() Config {
+	return Config{
+		MaxEntities:          3000,
+		MaxMobs:              60,
+		ItemLifetimeTicks:    6000,
+		MobLifetimeTicks:     2400,
+		ActivationRange:      0,
+		PathNodeBudget:       250,
+		NaturalSpawning:      true,
+		SpawnAttemptsPerTick: 3,
+	}
+}
+
+// Counters accumulates entity work per tick, in operation counts, for the
+// server's cost model and the Figure 11 "Entities" share.
+type Counters struct {
+	// MobTicks, ItemTicks, TNTTicks count full entity simulation steps by
+	// kind; InactiveSkips counts activation-range-throttled steps.
+	MobTicks      int
+	ItemTicks     int
+	TNTTicks      int
+	InactiveSkips int
+	// PathNodes counts A* node expansions; Repaths counts path
+	// recomputations forced by terrain changes.
+	PathNodes int
+	Repaths   int
+	// Collisions counts entity-terrain collision checks.
+	Collisions int
+	// SpawnAttempts counts dynamic spawn-point computations; Spawns counts
+	// entities actually created this tick; Despawns removals.
+	SpawnAttempts int
+	Spawns        int
+	Despawns      int
+	// Moved counts entities whose block position changed this tick (each
+	// one produces a state-update message to clients).
+	Moved int
+}
+
+// World is the entity store and simulator for one game world. It implements
+// sim.EntityOps so terrain rules can spawn and consume entities.
+type World struct {
+	w   *world.World
+	rng *rand.Rand
+	cfg Config
+
+	list   []*Entity
+	byID   map[int64]*Entity
+	nextID int64
+	mobs   int
+
+	// chunkVersion tracks terrain mutations per chunk for path invalidation.
+	chunkVersion map[world.ChunkPos]uint64
+
+	// itemCells maps a merge-grid cell to the item entity last spawned in
+	// it, for ItemMergeCells.
+	itemCells map[world.Pos]int64
+
+	// explosionsDue collects TNT detonations for the server to route to the
+	// terrain engine after the entity phase.
+	explosionsDue []world.Pos
+
+	counters Counters
+}
+
+// NewWorld creates an entity world bound to the terrain, seeded
+// deterministically, and registers the terrain-version listener used for
+// path invalidation.
+func NewWorld(w *world.World, cfg Config, seed int64) *World {
+	ew := &World{
+		w:            w,
+		rng:          rand.New(rand.NewSource(seed)),
+		cfg:          cfg,
+		byID:         make(map[int64]*Entity),
+		chunkVersion: make(map[world.ChunkPos]uint64),
+		itemCells:    make(map[world.Pos]int64),
+	}
+	w.OnChange(func(p world.Pos, old, new world.Block) {
+		ew.chunkVersion[world.ChunkPosAt(p)]++
+	})
+	return ew
+}
+
+// Count returns the live entity population.
+func (ew *World) Count() int { return len(ew.list) }
+
+// CountByKind returns the population of one entity kind.
+func (ew *World) CountByKind(k Type) int {
+	n := 0
+	for _, e := range ew.list {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the entity with the given ID, or nil.
+func (ew *World) Get(id int64) *Entity { return ew.byID[id] }
+
+// Entities calls fn for every live entity in deterministic (ID) order.
+func (ew *World) Entities(fn func(*Entity)) {
+	for _, e := range ew.list {
+		fn(e)
+	}
+}
+
+func (ew *World) add(e *Entity) *Entity {
+	if len(ew.list) >= ew.cfg.MaxEntities {
+		return nil
+	}
+	ew.nextID++
+	e.ID = ew.nextID
+	ew.list = append(ew.list, e)
+	ew.byID[e.ID] = e
+	if e.Kind == Mob {
+		ew.mobs++
+	}
+	ew.counters.Spawns++
+	return e
+}
+
+// SpawnPrimedTNT implements sim.EntityOps.
+func (ew *World) SpawnPrimedTNT(p world.Pos, fuseTicks int) {
+	ew.add(&Entity{Kind: PrimedTNT, Pos: Center(p), Fuse: fuseTicks})
+}
+
+// SpawnItem implements sim.EntityOps.
+func (ew *World) SpawnItem(p world.Pos, item world.BlockID) {
+	if cs := ew.cfg.ItemMergeCells; cs > 0 {
+		cell := world.Pos{X: floorDivInt(p.X, cs), Y: floorDivInt(p.Y, cs), Z: floorDivInt(p.Z, cs)}
+		if id, ok := ew.itemCells[cell]; ok {
+			if e := ew.byID[id]; e != nil && !e.Dead && e.Kind == Item && e.ItemType == item {
+				// Merge into the existing stack: no new entity.
+				return
+			}
+		}
+		e := ew.add(&Entity{Kind: Item, Pos: Center(p), ItemType: item,
+			Vel: Vec3{X: (ew.rng.Float64() - 0.5) * 0.2, Y: 0.2, Z: (ew.rng.Float64() - 0.5) * 0.2}})
+		if e != nil {
+			ew.itemCells[cell] = e.ID
+		}
+		return
+	}
+	ew.add(&Entity{Kind: Item, Pos: Center(p), ItemType: item,
+		Vel: Vec3{X: (ew.rng.Float64() - 0.5) * 0.2, Y: 0.2, Z: (ew.rng.Float64() - 0.5) * 0.2}})
+}
+
+func floorDivInt(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// SpawnMob implements sim.EntityOps.
+func (ew *World) SpawnMob(p world.Pos) {
+	if ew.mobs >= ew.cfg.MaxMobs {
+		return
+	}
+	ew.add(&Entity{Kind: Mob, Pos: Center(p)})
+}
+
+// CollectItems implements sim.EntityOps: hopper intake.
+func (ew *World) CollectItems(p world.Pos, radius float64) int {
+	center := Center(p)
+	n := 0
+	for _, e := range ew.list {
+		if e.Kind == Item && !e.Dead && e.Pos.Dist(center) <= radius {
+			e.Dead = true
+			n++
+		}
+	}
+	return n
+}
+
+// DrainExplosions returns and clears the TNT detonation positions collected
+// during the last Tick. The server routes them to the terrain engine.
+func (ew *World) DrainExplosions() []world.Pos {
+	out := ew.explosionsDue
+	ew.explosionsDue = nil
+	return out
+}
+
+// ApplyExplosionImpulse applies blast effects to entities around a
+// detonation: items near the centre are destroyed, everything else in range
+// is knocked away. This is the entity-collision side of the TNT workload.
+func (ew *World) ApplyExplosionImpulse(center world.Pos, radius float64) {
+	c := Center(center)
+	for _, e := range ew.list {
+		if e.Dead {
+			continue
+		}
+		d := e.Pos.Dist(c)
+		if d > radius {
+			continue
+		}
+		ew.counters.Collisions++
+		if e.Kind == Item && d < radius/2 {
+			e.Dead = true
+			continue
+		}
+		if d < 0.01 {
+			d = 0.01
+		}
+		strength := (radius - d) / radius
+		dir := e.Pos.Sub(c).Scale(1 / d)
+		e.Vel = e.Vel.Add(dir.Scale(strength)).Add(Vec3{Y: 0.3 * strength})
+	}
+}
+
+// Tick advances every entity one game tick. players gives current player
+// positions (for activation ranges, AI targets, and natural spawning). The
+// returned counters describe the tick's entity work.
+func (ew *World) Tick(players []Vec3) Counters {
+	// Counters are NOT reset here: spawns requested by the terrain phase
+	// (which runs before the entity phase within a server tick) must be
+	// attributed to this tick. They are taken and reset at the end.
+
+	for _, e := range ew.list {
+		if e.Dead {
+			continue
+		}
+		e.Age++
+		if ew.throttled(e, players) {
+			ew.counters.InactiveSkips++
+			continue
+		}
+		before := e.Pos.BlockPos()
+		switch e.Kind {
+		case Mob:
+			ew.counters.MobTicks++
+			ew.tickMob(e, players)
+		case Item:
+			ew.counters.ItemTicks++
+			ew.tickItem(e)
+		case PrimedTNT:
+			ew.counters.TNTTicks++
+			e.Fuse--
+			ew.stepPhysics(e)
+			if e.Fuse <= 0 {
+				e.Dead = true
+				ew.explosionsDue = append(ew.explosionsDue, e.Pos.BlockPos())
+			}
+		}
+		if !e.Dead && e.Pos.BlockPos() != before {
+			ew.counters.Moved++
+		}
+	}
+
+	if ew.cfg.NaturalSpawning && len(players) > 0 {
+		ew.naturalSpawns(players)
+	}
+	ew.compact()
+	out := ew.counters
+	ew.counters = Counters{}
+	return out
+}
+
+// throttled implements the PaperMC activation-range optimization: entities
+// far from every player tick once in four.
+func (ew *World) throttled(e *Entity, players []Vec3) bool {
+	if ew.cfg.ActivationRange <= 0 || e.Kind == PrimedTNT {
+		return false
+	}
+	r := float64(ew.cfg.ActivationRange)
+	for _, p := range players {
+		if e.Pos.Dist(p) <= r {
+			return false
+		}
+	}
+	// The 1-in-4 schedule is phase-shifted per entity so throttled mobs do
+	// not bunch onto the same tick.
+	return (e.Age+int(e.ID))%4 != 0
+}
+
+// compact removes dead and expired entities. Mobs that die drop loot (the
+// entity-farm yield); drops are spawned after the sweep so the list is not
+// mutated mid-iteration.
+func (ew *World) compact() {
+	var drops []world.Pos
+	live := ew.list[:0]
+	for _, e := range ew.list {
+		switch {
+		case e.Dead:
+		case e.Kind == Item && e.Age > ew.cfg.ItemLifetimeTicks:
+			e.Dead = true
+		case e.Kind == Mob && ew.cfg.MobLifetimeTicks > 0 && e.Age > ew.cfg.MobLifetimeTicks:
+			e.Dead = true
+			drops = append(drops, e.Pos.BlockPos())
+		case e.Pos.Y < -8:
+			// Fell out of the world.
+			e.Dead = true
+		}
+		if e.Dead {
+			delete(ew.byID, e.ID)
+			if e.Kind == Mob {
+				ew.mobs--
+			}
+			ew.counters.Despawns++
+			continue
+		}
+		live = append(live, e)
+	}
+	ew.list = live
+	for _, p := range drops {
+		ew.SpawnItem(p, world.Gravel) // stand-in mob loot
+	}
+}

@@ -1,0 +1,125 @@
+// Package server implements the MLG game server: the 20 Hz game loop with
+// networking queues, player handler, terrain simulation and entity phases of
+// the paper's operational model (Figure 4), instrumented per phase so
+// Meterstick can externalize tick duration and tick distribution (§3.5.1).
+//
+// Three server flavors reproduce the paper's systems under test (§5.1.1):
+// Vanilla (the Mojang reference behaviour), Forge (vanilla logic plus
+// mod-loader event overhead), and Paper (the community performance fork,
+// Appendix A: async chat, entity activation ranges, merged explosions,
+// batched redstone, and an async scheduler that moves work off the main
+// thread).
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/mlg/entity"
+	"repro/internal/mlg/sim"
+)
+
+// Flavor describes one MLG implementation's behaviour and engineering
+// choices. The differences mirror the paper's Appendix A analysis of where
+// PaperMC deviates from Vanilla/Forge.
+type Flavor struct {
+	// Name identifies the flavor ("Minecraft", "Forge", "PaperMC").
+	Name string
+
+	// AsyncChat processes chat on a dedicated thread instead of the game
+	// tick. PaperMC does this, which is why the paper omits it from the
+	// chat-probe response-time comparison (Figure 7).
+	AsyncChat bool
+	// ActivationRange throttles entities far from players (0 = vanilla
+	// behaviour, no throttling).
+	ActivationRange int
+	// RedstoneBatch enables per-tick wire update deduplication.
+	RedstoneBatch bool
+	// ExplosionMerge enables batched blast-volume scanning.
+	ExplosionMerge bool
+	// ItemMerge enables item-entity stack merging.
+	ItemMerge bool
+
+	// EventOverhead multiplies all per-operation costs: Forge's mod-loader
+	// fires event-bus hooks around every block and entity operation.
+	EventOverhead float64
+	// EntityParallel and EnvParallel are the fractions of entity and
+	// terrain work the flavor can run off the main thread (PaperMC's async
+	// scheduler and reworked thread priorities raise both).
+	EntityParallel float64
+	EnvParallel    float64
+	// Threads is the number of runnable OS threads the flavor keeps (game
+	// loop, network, async workers). More threads help on big nodes and
+	// hurt on oversubscribed 2-vCPU cloud nodes (MF3: PaperMC is worst on
+	// AWS t3.large).
+	Threads int
+}
+
+// The systems under test from §5.1.1.
+var (
+	// Vanilla is the official Mojang server behaviour.
+	Vanilla = Flavor{
+		Name:           "Minecraft",
+		EventOverhead:  1.0,
+		EntityParallel: 0.20,
+		EnvParallel:    0.05,
+		Threads:        4,
+	}
+	// Forge is the modding platform: vanilla logic plus event-bus overhead.
+	Forge = Flavor{
+		Name:           "Forge",
+		EventOverhead:  1.13,
+		EntityParallel: 0.20,
+		EnvParallel:    0.05,
+		Threads:        5,
+	}
+	// Paper is the high-performance fork (PaperMC).
+	Paper = Flavor{
+		Name:            "PaperMC",
+		AsyncChat:       true,
+		ActivationRange: 32,
+		RedstoneBatch:   true,
+		ExplosionMerge:  true,
+		ItemMerge:       true,
+		EventOverhead:   0.95,
+		EntityParallel:  0.60,
+		EnvParallel:     0.45,
+		Threads:         12,
+	}
+)
+
+// Flavors returns the three systems under test in paper order.
+func Flavors() []Flavor { return []Flavor{Vanilla, Forge, Paper} }
+
+// FlavorByName resolves a flavor by its name (case-sensitive, as printed in
+// the paper: "Minecraft", "Forge", "PaperMC"). The aliases "Vanilla" and
+// "Paper" are accepted.
+func FlavorByName(name string) (Flavor, error) {
+	switch name {
+	case "Minecraft", "Vanilla", "vanilla", "minecraft":
+		return Vanilla, nil
+	case "Forge", "forge":
+		return Forge, nil
+	case "PaperMC", "Paper", "papermc", "paper":
+		return Paper, nil
+	default:
+		return Flavor{}, fmt.Errorf("unknown MLG flavor %q", name)
+	}
+}
+
+// SimConfig derives the terrain-simulation configuration for the flavor.
+func (f Flavor) SimConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.RedstoneBatch = f.RedstoneBatch
+	cfg.ExplosionMerge = f.ExplosionMerge
+	return cfg
+}
+
+// EntityConfig derives the entity-world configuration for the flavor.
+func (f Flavor) EntityConfig() entity.Config {
+	cfg := entity.DefaultConfig()
+	cfg.ActivationRange = f.ActivationRange
+	if f.ItemMerge {
+		cfg.ItemMergeCells = 2
+	}
+	return cfg
+}

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/mlg/entity"
+	"repro/internal/mlg/world"
+	"repro/internal/protocol"
+)
+
+// Real-network serving: the server accepts protocol connections, feeds
+// client packets into the incoming networking queue, and materializes state
+// updates for connected sockets. This is the path the standalone
+// cmd/mlgserver binary and the real-TCP bot swarm use; benchmark
+// reproduction normally runs the in-process virtual path instead.
+
+// Serve accepts connections until the listener closes. It blocks; run it in
+// a goroutine alongside Run.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stopped:
+				return nil
+			default:
+				return err
+			}
+		}
+		go s.handleConn(protocol.NewConn(c))
+	}
+}
+
+// Run drives the game loop in real time on the server's clock until Stop is
+// called: one Tick per 50 ms budget (back-to-back when overloaded).
+func (s *Server) Run() {
+	go s.keepAliveLoop()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		default:
+		}
+		s.Tick()
+		if crashed, reason := s.Crashed(); crashed {
+			log.Printf("server crashed: %s", reason)
+			return
+		}
+	}
+}
+
+// Stop terminates Run and Serve and disconnects all players.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopped)
+		s.mu.Lock()
+		ids := append([]int64(nil), s.order...)
+		s.mu.Unlock()
+		for _, id := range ids {
+			s.Disconnect(id)
+		}
+	})
+}
+
+// handleConn performs the login handshake, registers the player, and pumps
+// incoming packets into the networking queue.
+func (s *Server) handleConn(conn *protocol.Conn) {
+	defer conn.Close()
+
+	pkt, _, err := conn.ReadPacket()
+	if err != nil {
+		return
+	}
+	hs, ok := pkt.(*protocol.Handshake)
+	if !ok || hs.Version != protocol.ProtocolVersion {
+		conn.WritePacket(&protocol.Disconnect{Reason: "bad handshake"})
+		return
+	}
+	pkt, _, err = conn.ReadPacket()
+	if err != nil {
+		return
+	}
+	login, ok := pkt.(*protocol.Login)
+	if !ok {
+		conn.WritePacket(&protocol.Disconnect{Reason: "expected login"})
+		return
+	}
+
+	p := s.connect(login.Name, conn)
+	if _, err := conn.WritePacket(&protocol.LoginSuccess{
+		PlayerID: int32(p.ID), X: p.Pos.X, Y: p.Pos.Y, Z: p.Pos.Z,
+	}); err != nil {
+		s.Disconnect(p.ID)
+		return
+	}
+
+	for {
+		pkt, _, err := conn.ReadPacket()
+		if err != nil {
+			s.Disconnect(p.ID)
+			return
+		}
+		s.Enqueue(p.ID, pkt, s.clock.Now())
+	}
+}
+
+// sendChunkBatch streams a batch of owed chunks over a player's connection.
+func (s *Server) sendChunkBatch(p *Player, batch []world.ChunkPos) {
+	for _, cp := range batch {
+		data := s.serializeChunk(cp)
+		if _, err := p.conn.WritePacket(&protocol.ChunkData{
+			ChunkX: cp.X, ChunkZ: cp.Z, Data: data,
+		}); err != nil {
+			return
+		}
+	}
+}
+
+// serializeChunk produces a compact RLE payload of one chunk column.
+func (s *Server) serializeChunk(cp world.ChunkPos) []byte {
+	c := s.w.Chunk(cp)
+	var buf bytes.Buffer
+	var run []byte
+	var last world.Block
+	count := 0
+	flush := func() {
+		if count == 0 {
+			return
+		}
+		run = append(run[:0], byte(count>>8), byte(count), byte(last.ID), last.Meta)
+		buf.Write(run)
+	}
+	for y := 0; y < world.Height; y++ {
+		for z := 0; z < world.ChunkSize; z++ {
+			for x := 0; x < world.ChunkSize; x++ {
+				b := c.At(x, y, z)
+				if b == last && count > 0 && count < 0xFFFF {
+					count++
+					continue
+				}
+				flush()
+				last, count = b, 1
+			}
+		}
+	}
+	flush()
+	return buf.Bytes()
+}
+
+// sendReal materializes this tick's updates for socket-backed players.
+// Entity updates are capped per tick per player, like production servers'
+// broadcast budgets.
+func (s *Server) sendReal(players []*Player, bc []protocol.BlockChange, counts *tickCounts) {
+	const entityCap = 400
+	var hasReal bool
+	for _, p := range players {
+		if p.conn != nil {
+			hasReal = true
+			break
+		}
+	}
+	if !hasReal {
+		return
+	}
+
+	// Snapshot entity positions once (cap applies to the broadcast budget).
+	type entPos struct {
+		id      int64
+		x, y, z float64
+	}
+	var ents []entPos
+	s.ents.Entities(func(e *entity.Entity) {
+		if len(ents) < entityCap {
+			ents = append(ents, entPos{id: e.ID, x: e.Pos.X, y: e.Pos.Y, z: e.Pos.Z})
+		}
+	})
+
+	// Chats processed this tick fan out to everyone.
+	s.mu.Lock()
+	tick := s.tick
+	s.mu.Unlock()
+
+	for _, p := range players {
+		if p.conn == nil {
+			continue
+		}
+		for i := range bc {
+			if _, err := p.conn.WritePacket(&bc[i]); err != nil {
+				break
+			}
+		}
+		for _, en := range ents {
+			if _, err := p.conn.WritePacket(&protocol.EntityMove{
+				EntityID: int32(en.id), X: en.x, Y: en.y, Z: en.z,
+			}); err != nil {
+				break
+			}
+		}
+		p.conn.WritePacket(&protocol.TimeUpdate{Tick: tick})
+	}
+}
+
+// BroadcastChat sends a chat packet to every socket-backed player. The
+// virtual path accounts chats without materializing them; the real path
+// delivers them here, which is how the bot swarm's response-time probe
+// observes its own message.
+func (s *Server) BroadcastChat(c *protocol.Chat) {
+	s.mu.Lock()
+	players := make([]*Player, 0, len(s.order))
+	for _, pid := range s.order {
+		players = append(players, s.players[pid])
+	}
+	s.mu.Unlock()
+	for _, p := range players {
+		if p.conn != nil {
+			p.conn.WritePacket(c)
+		}
+	}
+}
+
+// Addr formats a host:port for the default game port.
+func Addr(host string, port int) string { return fmt.Sprintf("%s:%d", host, port) }
+
+// keepAliveLoop periodically sends keep-alives on real connections.
+func (s *Server) keepAliveLoop() {
+	t := time.NewTicker(s.cfg.KeepAliveEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			players := make([]*Player, 0, len(s.order))
+			for _, pid := range s.order {
+				players = append(players, s.players[pid])
+			}
+			nonce := time.Now().UnixNano()
+			s.mu.Unlock()
+			for _, p := range players {
+				if p.conn != nil {
+					p.conn.WritePacket(&protocol.KeepAlive{Nonce: nonce})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,661 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/mlg/entity"
+	"repro/internal/mlg/sim"
+	"repro/internal/mlg/world"
+	"repro/internal/protocol"
+)
+
+// TickBudget is the intended tick period: 50 ms, 20 Hz (§2.1).
+const TickBudget = 50 * time.Millisecond
+
+// Config configures a game server instance.
+type Config struct {
+	// Flavor selects the system under test (Vanilla, Forge, Paper).
+	Flavor Flavor
+	// ViewDistance is the radius, in chunks, loaded and streamed around each
+	// player.
+	ViewDistance int
+	// Costs is the operation cost model used for virtual-time accounting.
+	Costs CostModel
+	// Seed seeds the simulation RNGs.
+	Seed int64
+	// ClientTimeout, when > 0, crashes the server if a single tick starves
+	// client connections longer than this (the Lag-on-AWS failure mode,
+	// §5.3). It is normally taken from the environment profile.
+	ClientTimeout time.Duration
+	// KeepAliveEvery is the keep-alive broadcast period (default 5 s).
+	KeepAliveEvery time.Duration
+}
+
+// DefaultConfig returns a server configuration for the given flavor.
+func DefaultConfig(f Flavor) Config {
+	return Config{
+		Flavor:         f,
+		ViewDistance:   5,
+		Costs:          DefaultCosts(),
+		Seed:           1,
+		KeepAliveEvery: 5 * time.Second,
+	}
+}
+
+// Player is one connected player session.
+type Player struct {
+	ID   int64
+	Name string
+	Pos  entity.Vec3
+	// conn is non-nil for real TCP sessions; virtual players (driven
+	// in-process by the benchmark runner) have none.
+	conn *protocol.Conn
+	// sendQueue counts chunks owed to this player from its join burst.
+	pendingChunks []world.ChunkPos
+}
+
+// inbound is one queued client message (the paper's incoming networking
+// queue, Figure 4 component 1).
+type inbound struct {
+	playerID int64
+	pkt      protocol.Packet
+	arrival  time.Time
+}
+
+// ChatEcho records the server-side completion of one chat round trip: the
+// probe message became visible to its sender's output queue at ReadyAt. The
+// benchmark runner adds downlink latency to compute response time.
+type ChatEcho struct {
+	PlayerID     int64
+	SentUnixNano int64
+	ReadyAt      time.Time
+}
+
+// TickRecord describes one completed game tick.
+type TickRecord struct {
+	Tick  int64
+	Start time.Time
+	// Dur is the tick's busy (compute) duration; the effective tick period
+	// is max(Dur+WaitBefore, TickBudget).
+	Dur        time.Duration
+	WaitBefore time.Duration
+	WaitAfter  time.Duration
+	Work       env.Work
+	Players    int
+	Entities   int
+	Backlog    int
+	Crashed    bool
+}
+
+// NetTotals aggregates outbound traffic for Table 8.
+type NetTotals struct {
+	Msgs, Bytes             int64
+	EntityMsgs, EntityBytes int64
+}
+
+// Fig11Totals accumulates busy time per operation category plus waits, the
+// data behind the paper's tick-distribution plot.
+type Fig11Totals struct {
+	PlayerUS         float64
+	BlockUpdateUS    float64
+	BlockAddRemoveUS float64
+	EntityUS         float64
+	OtherUS          float64
+	WaitBeforeUS     float64
+	WaitAfterUS      float64
+}
+
+// Server is one MLG instance.
+type Server struct {
+	cfg     Config
+	w       *world.World
+	engine  *sim.Engine
+	ents    *entity.World
+	clock   env.Clock
+	machine *env.Machine
+
+	mu      sync.Mutex
+	inbox   []inbound
+	players map[int64]*Player
+	order   []int64 // deterministic player iteration order
+	nextPID int64
+
+	// blockChanges collects this tick's terrain state updates for
+	// dissemination (count always; positions kept for real connections).
+	blockChanges []protocol.BlockChange
+
+	tick        int64
+	records     []TickRecord
+	chatEchoes  []ChatEcho
+	pendingChat []ChatEcho // sync-path chats awaiting tick completion
+	crashed     bool
+	crashReason string
+
+	net      NetTotals
+	fig11    Fig11Totals
+	lastGen  int // world chunks generated at last tick
+	sizes    frameSizes
+	stopOnce sync.Once
+	stopped  chan struct{}
+}
+
+// frameSizes caches wire frame sizes of the fixed-layout update packets.
+type frameSizes struct {
+	blockChange   int
+	entityMove    int
+	entityMoveRel int
+	spawn         int
+	destroy       int
+	chat          int
+	keepAlive     int
+	timeUpdate    int
+	chunkData     int // typical chunk payload
+	worldStream   int // background terrain/light refresh payload
+}
+
+func measuredSizes() frameSizes {
+	size := func(p protocol.Packet) int {
+		body := p.MarshalBody(nil)
+		n := len(body) + protocol.VarintLen(int32(p.ID()))
+		return protocol.VarintLen(int32(n)) + n
+	}
+	return frameSizes{
+		blockChange:   size(&protocol.BlockChange{X: 100, Y: 30, Z: 100}),
+		entityMove:    size(&protocol.EntityMove{EntityID: 1 << 13, X: 1, Y: 1, Z: 1}),
+		entityMoveRel: size(&protocol.EntityMoveRel{EntityID: 1 << 13, DX: 1, DY: 1, DZ: 1}),
+		spawn:         size(&protocol.SpawnEntity{EntityID: 1 << 13, X: 1, Y: 1, Z: 1}),
+		destroy:       size(&protocol.DestroyEntity{EntityID: 1 << 13}),
+		chat:          size(&protocol.Chat{Sender: "player-00", Text: "probe-000000", SentUnixNano: 1 << 40}),
+		keepAlive:     size(&protocol.KeepAlive{Nonce: 1 << 40}),
+		timeUpdate:    size(&protocol.TimeUpdate{Tick: 1 << 30}),
+		chunkData:     2600, // typical RLE chunk payload
+		worldStream:   1500, // per-tick terrain/light refresh blob
+	}
+}
+
+// New creates a server over the world, running under the given environment
+// machine and clock. machine may be nil, in which case tick durations are
+// measured wall-clock time (real deployments); clock must not be nil.
+func New(w *world.World, cfg Config, machine *env.Machine, clock env.Clock) *Server {
+	if cfg.ViewDistance <= 0 {
+		cfg.ViewDistance = 5
+	}
+	if cfg.KeepAliveEvery <= 0 {
+		cfg.KeepAliveEvery = 5 * time.Second
+	}
+	if cfg.Costs == (CostModel{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	s := &Server{
+		cfg:     cfg,
+		w:       w,
+		clock:   clock,
+		machine: machine,
+		players: make(map[int64]*Player),
+		sizes:   measuredSizes(),
+		stopped: make(chan struct{}),
+	}
+	s.ents = entity.NewWorld(w, cfg.Flavor.EntityConfig(), cfg.Seed+1)
+	s.engine = sim.New(w, s.ents, cfg.Flavor.SimConfig(), cfg.Seed+2)
+	w.OnChange(func(p world.Pos, old, new world.Block) {
+		if len(s.blockChanges) < 20000 {
+			s.blockChanges = append(s.blockChanges, protocol.BlockChange{
+				X: int32(p.X), Y: int32(p.Y), Z: int32(p.Z),
+				BlockID: uint8(new.ID), Meta: new.Meta,
+			})
+		} else {
+			s.blockChanges = s.blockChanges[:0] // overflow: count resets, burst capped
+		}
+	})
+	gen, _, _ := w.Stats()
+	s.lastGen = gen
+	return s
+}
+
+// World returns the server's terrain world.
+func (s *Server) World() *world.World { return s.w }
+
+// Engine returns the terrain-simulation engine (for workload installers).
+func (s *Server) Engine() *sim.Engine { return s.engine }
+
+// EntityWorld returns the entity store.
+func (s *Server) EntityWorld() *entity.World { return s.ents }
+
+// Flavor returns the server's flavor.
+func (s *Server) Flavor() Flavor { return s.cfg.Flavor }
+
+// Connect adds a player at the world spawn and returns the session. The
+// join triggers the chunk-load and chunk-send burst responsible for the
+// post-connect response-time outliers of MF1.
+func (s *Server) Connect(name string) *Player {
+	return s.connect(name, nil)
+}
+
+func (s *Server) connect(name string, conn *protocol.Conn) *Player {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextPID++
+	spawnY := s.w.HighestSolidY(8, 8) + 1
+	p := &Player{
+		ID:   s.nextPID,
+		Name: name,
+		Pos:  entity.Vec3{X: 8.5, Y: float64(spawnY), Z: 8.5},
+		conn: conn,
+	}
+	// Load the view area (lazy generation work) and owe the player its
+	// chunks (serialization + send burst on the next tick).
+	s.w.EnsureArea(p.Pos.BlockPos(), s.cfg.ViewDistance)
+	cc := world.ChunkPosAt(p.Pos.BlockPos())
+	for dz := -s.cfg.ViewDistance; dz <= s.cfg.ViewDistance; dz++ {
+		for dx := -s.cfg.ViewDistance; dx <= s.cfg.ViewDistance; dx++ {
+			p.pendingChunks = append(p.pendingChunks,
+				world.ChunkPos{X: cc.X + int32(dx), Z: cc.Z + int32(dz)})
+		}
+	}
+	s.players[p.ID] = p
+	s.order = append(s.order, p.ID)
+	return p
+}
+
+// Disconnect removes a player session.
+func (s *Server) Disconnect(id int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeLocked(id)
+}
+
+func (s *Server) removeLocked(id int64) {
+	if p, ok := s.players[id]; ok {
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		delete(s.players, id)
+		for i, pid := range s.order {
+			if pid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// PlayerCount returns the number of connected players.
+func (s *Server) PlayerCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.players)
+}
+
+// PlayerByID returns a player session.
+func (s *Server) PlayerByID(id int64) *Player {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.players[id]
+}
+
+// Enqueue queues a client packet into the incoming networking queue with
+// the given arrival time (benchmark runners add uplink latency themselves).
+func (s *Server) Enqueue(playerID int64, pkt protocol.Packet, arrival time.Time) {
+	s.mu.Lock()
+	s.inbox = append(s.inbox, inbound{playerID: playerID, pkt: pkt, arrival: arrival})
+	s.mu.Unlock()
+}
+
+// Crashed reports whether the server stopped due to a fault, with the
+// reason.
+func (s *Server) Crashed() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed, s.crashReason
+}
+
+// DrainChatEchoes returns and clears completed chat round trips.
+func (s *Server) DrainChatEchoes() []ChatEcho {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.chatEchoes
+	s.chatEchoes = nil
+	return out
+}
+
+// NetTotals returns cumulative outbound traffic counters.
+func (s *Server) NetTotals() NetTotals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.net
+}
+
+// Fig11 returns the cumulative per-category busy/wait time split.
+func (s *Server) Fig11() Fig11Totals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fig11
+}
+
+// ResetStats clears accumulated measurement state (tick records, Figure 11
+// totals, network totals, chat echoes) without touching simulation state.
+// The benchmark runner calls it after world warm-up so settling cascades do
+// not pollute the measured trace.
+func (s *Server) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = nil
+	s.chatEchoes = nil
+	s.pendingChat = nil
+	s.net = NetTotals{}
+	s.fig11 = Fig11Totals{}
+}
+
+// Records returns all tick records so far.
+func (s *Server) Records() []TickRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]TickRecord(nil), s.records...)
+}
+
+// TickDurations returns the tick-duration trace.
+func (s *Server) TickDurations() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]time.Duration, len(s.records))
+	for i, r := range s.records {
+		out[i] = r.Dur
+	}
+	return out
+}
+
+// TickNumber returns the number of completed ticks.
+func (s *Server) TickNumber() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tick
+}
+
+// Tick runs one full game-loop iteration: drain input queue, player
+// handler, terrain simulation, entities, explosion routing, dissemination,
+// accounting, and the wait for the next scheduled tick start. It returns
+// the tick's record.
+func (s *Server) Tick() TickRecord {
+	start := s.clock.Now()
+	s.tick++
+	var counts tickCounts
+	var wallStart time.Time
+	if s.machine == nil {
+		wallStart = time.Now()
+	}
+
+	// Phase 1: player handler (Figure 4, component 4).
+	s.processInbox(&counts, start)
+
+	// Phase 2: terrain simulation (component 5).
+	counts.sim = s.engine.Tick()
+
+	// Phase 3: entities (component 6).
+	positions := s.playerPositions()
+	counts.ent = s.ents.Tick(positions)
+
+	// Phase 3b: route TNT detonations back into the terrain engine and
+	// apply blast impulses to nearby entities.
+	if centers := s.ents.DrainExplosions(); len(centers) > 0 {
+		_, delta := s.engine.MergedExplosions(centers, sim.ExplosionRadius)
+		counts.sim = counts.sim.Add(delta)
+		for _, c := range centers {
+			s.ents.ApplyExplosionImpulse(c, sim.ExplosionRadius)
+		}
+	}
+
+	// Phase 4: dissemination through the outgoing networking queues.
+	s.disseminate(&counts)
+
+	// Upkeep accounting.
+	gen, _, _ := s.w.Stats()
+	counts.chunksGenerated = gen - s.lastGen
+	s.lastGen = gen
+	counts.chunksLoaded = s.w.ChunkCount()
+
+	// Convert work to tick duration.
+	work := s.cfg.Costs.Work(counts, s.cfg.Flavor)
+	var dur time.Duration
+	if s.machine != nil {
+		dur = s.machine.TickComputeTime(work)
+	} else {
+		dur = time.Since(wallStart)
+	}
+	waitBefore := dur/100 + 100*time.Microsecond
+
+	// Advance past the busy time; then wait out the remainder of the tick
+	// budget, if any.
+	s.clock.Sleep(waitBefore + dur)
+	var waitAfter time.Duration
+	if busy := waitBefore + dur; busy < TickBudget {
+		waitAfter = TickBudget - busy
+		s.clock.Sleep(waitAfter)
+	}
+
+	// Chat round trips processed on the tick path become visible when the
+	// tick's output flush happens.
+	readyAt := start.Add(waitBefore + dur)
+
+	s.mu.Lock()
+	for i := range s.pendingChat {
+		s.pendingChat[i].ReadyAt = readyAt
+	}
+	s.chatEchoes = append(s.chatEchoes, s.pendingChat...)
+	s.pendingChat = nil
+
+	// Client starvation: a tick longer than the client timeout drops every
+	// connection; the MLG cannot recover and stops (Lag-on-AWS, §5.3).
+	crashed := false
+	if s.cfg.ClientTimeout > 0 && waitBefore+dur > s.cfg.ClientTimeout && len(s.players) > 0 {
+		s.crashed = true
+		s.crashReason = fmt.Sprintf("tick %d lasted %v > client timeout %v: all player connections timed out",
+			s.tick, waitBefore+dur, s.cfg.ClientTimeout)
+		crashed = true
+		for _, pid := range append([]int64(nil), s.order...) {
+			s.removeLocked(pid)
+		}
+	}
+
+	// Figure 11 accumulation: scale category microseconds to the realized
+	// busy duration so shares are consistent with the recorded tick times.
+	total := work.TotalUS()
+	if total > 0 {
+		scale := float64(dur) / float64(time.Microsecond) / total
+		s.fig11.PlayerUS += work.PlayerUS * scale
+		s.fig11.BlockUpdateUS += work.BlockUpdateUS * scale
+		s.fig11.BlockAddRemoveUS += work.BlockAddRemoveUS * scale
+		s.fig11.EntityUS += work.EntityUS * scale
+		s.fig11.OtherUS += work.OtherUS() * scale
+	}
+	s.fig11.WaitBeforeUS += float64(waitBefore) / float64(time.Microsecond)
+	s.fig11.WaitAfterUS += float64(waitAfter) / float64(time.Microsecond)
+
+	rec := TickRecord{
+		Tick:       s.tick,
+		Start:      start,
+		Dur:        dur,
+		WaitBefore: waitBefore,
+		WaitAfter:  waitAfter,
+		Work:       work,
+		Players:    len(s.players),
+		Entities:   s.ents.Count(),
+		Backlog:    counts.sim.Backlog,
+		Crashed:    crashed,
+	}
+	s.records = append(s.records, rec)
+	s.mu.Unlock()
+	return rec
+}
+
+// playerPositions snapshots player positions for the entity phase.
+func (s *Server) playerPositions() []entity.Vec3 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]entity.Vec3, 0, len(s.order))
+	for _, pid := range s.order {
+		out = append(out, s.players[pid].Pos)
+	}
+	return out
+}
+
+// processInbox drains the incoming queue entries that arrived before the
+// tick start and applies them via the player handler.
+func (s *Server) processInbox(counts *tickCounts, tickStart time.Time) {
+	s.mu.Lock()
+	var due, later []inbound
+	for _, in := range s.inbox {
+		if in.arrival.After(tickStart) {
+			later = append(later, in)
+		} else {
+			due = append(due, in)
+		}
+	}
+	s.inbox = later
+	s.mu.Unlock()
+
+	for _, in := range due {
+		s.handlePacket(in, counts)
+	}
+}
+
+// handlePacket applies one client message.
+func (s *Server) handlePacket(in inbound, counts *tickCounts) {
+	s.mu.Lock()
+	p := s.players[in.playerID]
+	s.mu.Unlock()
+	if p == nil {
+		return
+	}
+	switch pkt := in.pkt.(type) {
+	case *protocol.PlayerMove:
+		counts.playerMoves++
+		target := entity.Vec3{X: pkt.X, Y: pkt.Y, Z: pkt.Z}
+		// Validate against terrain: reject moves into solid blocks.
+		bp := target.BlockPos()
+		feet, _ := s.w.BlockIfLoaded(bp)
+		head, _ := s.w.BlockIfLoaded(bp.Up())
+		if !feet.IsSolid() && !head.IsSolid() {
+			p.Pos = target
+		}
+	case *protocol.PlayerAction:
+		counts.playerActions++
+		pos := world.Pos{X: int(pkt.X), Y: int(pkt.Y), Z: int(pkt.Z)}
+		switch pkt.Action {
+		case protocol.ActionDig:
+			s.w.SetBlock(pos, world.B(world.Air))
+		case protocol.ActionPlace:
+			s.w.SetBlock(pos, world.B(world.BlockID(pkt.BlockID)))
+		}
+	case *protocol.Chat:
+		// Socket-backed players receive the chat fan-out immediately after
+		// handling (the virtual path accounts it without materializing).
+		defer s.BroadcastChat(pkt)
+		if s.cfg.Flavor.AsyncChat {
+			// Paper: chat never touches the game tick; the echo is ready a
+			// fixed async-processing delay after arrival.
+			delay := time.Duration(s.cfg.Costs.AsyncChatUS) * time.Microsecond
+			s.mu.Lock()
+			s.chatEchoes = append(s.chatEchoes, ChatEcho{
+				PlayerID: in.playerID, SentUnixNano: pkt.SentUnixNano,
+				ReadyAt: in.arrival.Add(delay),
+			})
+			s.mu.Unlock()
+		} else {
+			counts.chats++
+			s.mu.Lock()
+			s.pendingChat = append(s.pendingChat, ChatEcho{
+				PlayerID: in.playerID, SentUnixNano: pkt.SentUnixNano,
+			})
+			s.mu.Unlock()
+		}
+	case *protocol.KeepAlive:
+		// Client keep-alive echo; nothing to do.
+	}
+}
+
+// disseminate accounts (and, for real connections, sends) this tick's state
+// updates: terrain changes, entity updates, chats, chunk-join bursts,
+// keep-alives.
+func (s *Server) disseminate(counts *tickCounts) {
+	s.mu.Lock()
+	bc := s.blockChanges
+	s.blockChanges = nil
+	nPlayers := len(s.order)
+	players := make([]*Player, 0, nPlayers)
+	for _, pid := range s.order {
+		players = append(players, s.players[pid])
+	}
+	s.mu.Unlock()
+
+	addMsgs := func(n int, size int, entityRelated bool) {
+		if n <= 0 {
+			return
+		}
+		counts.msgsOut += n
+		counts.bytesOut += int64(n) * int64(size)
+		s.mu.Lock()
+		s.net.Msgs += int64(n)
+		s.net.Bytes += int64(n) * int64(size)
+		if entityRelated {
+			s.net.EntityMsgs += int64(n)
+			s.net.EntityBytes += int64(n) * int64(size)
+		}
+		s.mu.Unlock()
+	}
+
+	// Terrain updates go to every player (workload areas sit inside view
+	// distance in all benchmark worlds).
+	addMsgs(len(bc)*nPlayers, s.sizes.blockChange, false)
+
+	// Entity updates: delta-encoded movements, spawns, removals.
+	ec := counts.ent
+	addMsgs(ec.Moved*nPlayers, s.sizes.entityMoveRel, true)
+	addMsgs(ec.Spawns*nPlayers, s.sizes.spawn, true)
+	addMsgs(ec.Despawns*nPlayers, s.sizes.destroy, true)
+
+	// Chat fan-out.
+	addMsgs(counts.chats*nPlayers, s.sizes.chat, false)
+
+	// Tick time update plus the background world stream (terrain/light
+	// refreshes) every player continuously receives — few messages, many
+	// bytes, the Table 8 "communication" counterweight.
+	addMsgs(nPlayers, s.sizes.timeUpdate, false)
+	addMsgs(nPlayers, s.sizes.worldStream, false)
+
+	// Keep-alives.
+	if s.cfg.KeepAliveEvery > 0 {
+		every := int64(s.cfg.KeepAliveEvery / TickBudget)
+		if every < 1 {
+			every = 1
+		}
+		if s.tick%every == 0 {
+			addMsgs(nPlayers, s.sizes.keepAlive, false)
+		}
+	}
+
+	// Join bursts: chunk data owed to newly connected players, throttled to
+	// a per-tick budget per player (real servers pace chunk streaming).
+	const chunkSendBudget = 40
+	for _, p := range players {
+		n := len(p.pendingChunks)
+		if n == 0 {
+			continue
+		}
+		if n > chunkSendBudget {
+			n = chunkSendBudget
+		}
+		batch := p.pendingChunks[:n]
+		counts.chunksSent += n
+		addMsgs(n, s.sizes.chunkData, false)
+		if p.conn != nil {
+			s.sendChunkBatch(p, batch)
+		}
+		p.pendingChunks = p.pendingChunks[n:]
+	}
+
+	// Real connections additionally receive materialized packets.
+	s.sendReal(players, bc, counts)
+}

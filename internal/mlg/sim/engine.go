@@ -1,0 +1,409 @@
+// Package sim implements the terrain simulation of the MLG engine — the
+// Terrain Simulation element of the paper's operational model (Figure 4,
+// component 5) and the environment-based workload sources of §2.2.2:
+// gravity physics, fluid flow, plant growth, lighting recomputation, and the
+// redstone-like logic components that simulated constructs (farms, lag
+// machines) are built from.
+//
+// Simulation is driven by terrain state updates: every block change queues
+// neighbour updates, rules applied to those neighbours may change more
+// blocks, and the cascade continues — the sequential, hard-to-parallelize
+// propagation the paper's bridge example describes (§2.3). Logic components
+// run on redstone ticks (every second game tick), which is what makes
+// redstone-heavy constructs alternate between heavy and light game ticks —
+// the mechanism behind the Lag workload's extreme Instability Ratio (§5.3).
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/mlg/world"
+)
+
+// EntityOps is the entity-world surface the terrain simulation needs:
+// terrain rules spawn entities (primed TNT, item drops, spawner mobs) and
+// hoppers absorb item entities. The server wires its entity store in here.
+type EntityOps interface {
+	// SpawnPrimedTNT creates an ignited TNT entity with the given fuse.
+	SpawnPrimedTNT(p world.Pos, fuseTicks int)
+	// SpawnItem creates an item entity for the given block type.
+	SpawnItem(p world.Pos, item world.BlockID)
+	// SpawnMob creates a hostile mob (used by spawner blocks).
+	SpawnMob(p world.Pos)
+	// CollectItems removes item entities within radius of p and returns how
+	// many were absorbed (hopper intake).
+	CollectItems(p world.Pos, radius float64) int
+}
+
+// Counters accumulates the terrain-simulation work performed during one game
+// tick, in operation counts. The server converts these to cost-model
+// microseconds and to the Figure 11 tick-distribution categories.
+type Counters struct {
+	// BlockUpdates counts simulation-rule applications ("Block Update").
+	BlockUpdates int
+	// RedstoneOps counts logic-component evaluations (subset of updates).
+	RedstoneOps int
+	// FluidOps counts fluid spread/drain steps (subset of updates).
+	FluidOps int
+	// GrowthOps counts plant growth steps (subset of updates).
+	GrowthOps int
+	// BlockAdds and BlockRemoves count block creations/destructions
+	// ("Block Add/Remove").
+	BlockAdds    int
+	BlockRemoves int
+	// Explosions counts explosions processed; ExplosionBlocks the blocks
+	// destroyed by them; ExplosionScan the blast-volume cells scanned (the
+	// quantity PaperMC's explosion merging reduces).
+	Explosions      int
+	ExplosionBlocks int
+	ExplosionScan   int
+	// LightScans counts blocks scanned by lighting recomputation.
+	LightScans int
+	// RandomTicks counts random-tick samples taken.
+	RandomTicks int
+	// Backlog is the number of queued updates deferred to the next tick by
+	// the per-tick update cap.
+	Backlog int
+}
+
+// Config tunes the simulation engine, including the flavor-dependent
+// optimizations PaperMC applies (Appendix A).
+type Config struct {
+	// RandomTickRate is random-tick samples per loaded chunk per game tick
+	// (plant growth driver). Minecraft's default is 3.
+	RandomTickRate int
+	// MaxUpdatesPerTick caps rule applications per game tick; excess queues
+	// to the next tick (overload backpressure).
+	MaxUpdatesPerTick int
+	// RedstoneBatch dedupes redundant wire recomputations within a tick
+	// (a PaperMC optimization; reduces Lag/Farm update counts).
+	RedstoneBatch bool
+	// ExplosionMerge batches simultaneous explosions so overlapping blast
+	// volumes are scanned once (a PaperMC TNT optimization).
+	ExplosionMerge bool
+	// ItemDropChance is the probability an explosion-destroyed block drops
+	// an item entity.
+	ItemDropChance float64
+	// SpawnerIntervalTicks is the mob-spawner period.
+	SpawnerIntervalTicks int
+}
+
+// DefaultConfig returns vanilla-like settings.
+func DefaultConfig() Config {
+	return Config{
+		RandomTickRate:       3,
+		MaxUpdatesPerTick:    200_000,
+		RedstoneBatch:        false,
+		ExplosionMerge:       false,
+		ItemDropChance:       0.30,
+		SpawnerIntervalTicks: 40,
+	}
+}
+
+type updateKind uint8
+
+const (
+	updateNeighbor      updateKind = iota // re-evaluate the block's rule
+	updateObserverClear                   // end an observer pulse
+	updateObserverFire                    // observer saw its watched block change
+	updateRepeaterFire                    // repeater output fires after its delay
+	updatePistonRetract                   // piston pulls back
+	updateIgnite                          // ignite TNT at the position
+)
+
+type scheduledUpdate struct {
+	pos  world.Pos
+	kind updateKind
+	// val carries latched state for delayed component updates (a repeater
+	// locks in its output change when it schedules it, like Minecraft's).
+	val uint8
+}
+
+// Engine is the terrain-simulation state machine for one world.
+type Engine struct {
+	w    *world.World
+	ents EntityOps
+	rng  *rand.Rand
+	cfg  Config
+
+	tick int64
+	// pending is the neighbour-update queue for the current/next game tick.
+	pending []scheduledUpdate
+	// redstonePending holds logic-component updates; they are only drained
+	// on redstone ticks (every second game tick).
+	redstonePending []scheduledUpdate
+	// scheduled maps future tick numbers to their due updates.
+	scheduled map[int64][]scheduledUpdate
+	// spawners tracks spawner block positions for periodic activation.
+	spawners map[world.Pos]struct{}
+	// hoppers tracks hopper positions for item collection.
+	hoppers map[world.Pos]struct{}
+	// wireSeen tracks per-tick wire recomputations when RedstoneBatch is
+	// on: value = tick<<2 | count, allowing up to two evaluations per wire
+	// per tick (the optimizer removes *redundant* re-walks, it cannot make
+	// a pathological update storm free).
+	wireSeen map[world.Pos]int64
+
+	counters Counters
+	// suppress stops the change listener from self-queueing while the
+	// engine itself mutates blocks in bulk (explosions handle their own
+	// propagation).
+	suppress bool
+
+	// ItemsCollected counts hopper absorptions for farm-throughput reports.
+	ItemsCollected int64
+}
+
+// New creates an engine bound to the world and entity store, seeded
+// deterministically, and registers its change listener on the world.
+func New(w *world.World, ents EntityOps, cfg Config, seed int64) *Engine {
+	e := &Engine{
+		w:         w,
+		ents:      ents,
+		rng:       rand.New(rand.NewSource(seed)),
+		cfg:       cfg,
+		scheduled: make(map[int64][]scheduledUpdate),
+		spawners:  make(map[world.Pos]struct{}),
+		hoppers:   make(map[world.Pos]struct{}),
+		wireSeen:  make(map[world.Pos]int64),
+	}
+	w.OnChange(e.onBlockChange)
+	return e
+}
+
+// onBlockChange queues neighbour updates for every terrain mutation — the
+// "terrain simulation is driven by terrain state updates" loop of §2.3.
+func (e *Engine) onBlockChange(p world.Pos, old, new world.Block) {
+	if e.suppress {
+		return
+	}
+	e.trackSpecial(p, new)
+	e.queueNeighbors(p)
+	e.notifyObservers(p)
+}
+
+// trackSpecial maintains the spawner/hopper position sets.
+func (e *Engine) trackSpecial(p world.Pos, b world.Block) {
+	switch b.ID {
+	case world.Spawner:
+		e.spawners[p] = struct{}{}
+	case world.Hopper:
+		e.hoppers[p] = struct{}{}
+	default:
+		delete(e.spawners, p)
+		delete(e.hoppers, p)
+	}
+}
+
+// queueNeighbors enqueues rule re-evaluation for a position's six
+// neighbours and itself. Logic components go on the redstone queue.
+func (e *Engine) queueNeighbors(p world.Pos) {
+	e.enqueue(scheduledUpdate{pos: p, kind: updateNeighbor})
+	for _, n := range p.Neighbors6() {
+		e.enqueue(scheduledUpdate{pos: n, kind: updateNeighbor})
+	}
+}
+
+func (e *Engine) enqueue(u scheduledUpdate) {
+	b, loaded := e.w.BlockIfLoaded(u.pos)
+	if !loaded {
+		return
+	}
+	if b.IsRedstoneComponent() {
+		e.redstonePending = append(e.redstonePending, u)
+	} else {
+		e.pending = append(e.pending, u)
+	}
+}
+
+// notifyObservers pulses any observer watching the changed position.
+func (e *Engine) notifyObservers(changed world.Pos) {
+	for _, d := range []world.Direction{world.DirUp, world.DirDown, world.DirNorth,
+		world.DirSouth, world.DirEast, world.DirWest} {
+		op := d.Move(changed)
+		b, loaded := e.w.BlockIfLoaded(op)
+		if !loaded || b.ID != world.Observer {
+			continue
+		}
+		// The observer fires only if it faces the changed block. A dedicated
+		// update kind distinguishes "watched block changed" from ordinary
+		// neighbour updates, so an observer's own pulse block-change cannot
+		// retrigger it.
+		if b.Facing().Move(op) == changed && !b.ObserverPulsing() {
+			e.redstonePending = append(e.redstonePending,
+				scheduledUpdate{pos: op, kind: updateObserverFire})
+		}
+	}
+}
+
+// schedule queues an update for delayTicks game ticks in the future.
+func (e *Engine) schedule(p world.Pos, delayTicks int, kind updateKind) {
+	e.scheduleVal(p, delayTicks, kind, 0)
+}
+
+// scheduleVal queues an update carrying a latched value.
+func (e *Engine) scheduleVal(p world.Pos, delayTicks int, kind updateKind, val uint8) {
+	due := e.tick + int64(delayTicks)
+	if due <= e.tick {
+		due = e.tick + 1
+	}
+	e.scheduled[due] = append(e.scheduled[due], scheduledUpdate{pos: p, kind: kind, val: val})
+}
+
+// ScheduleIgnite queues TNT ignition at p after delayTicks — used by
+// workload worlds to set off the TNT cuboid ~20 s after start.
+func (e *Engine) ScheduleIgnite(p world.Pos, delayTicks int) {
+	e.schedule(p, delayTicks, updateIgnite)
+}
+
+// Sub returns the component-wise difference c - o, used to attribute the
+// work of an operation (e.g. an explosion) run between ticks.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		BlockUpdates:    c.BlockUpdates - o.BlockUpdates,
+		RedstoneOps:     c.RedstoneOps - o.RedstoneOps,
+		FluidOps:        c.FluidOps - o.FluidOps,
+		GrowthOps:       c.GrowthOps - o.GrowthOps,
+		BlockAdds:       c.BlockAdds - o.BlockAdds,
+		BlockRemoves:    c.BlockRemoves - o.BlockRemoves,
+		Explosions:      c.Explosions - o.Explosions,
+		ExplosionBlocks: c.ExplosionBlocks - o.ExplosionBlocks,
+		ExplosionScan:   c.ExplosionScan - o.ExplosionScan,
+		LightScans:      c.LightScans - o.LightScans,
+		RandomTicks:     c.RandomTicks - o.RandomTicks,
+		Backlog:         c.Backlog - o.Backlog,
+	}
+}
+
+// Add returns the component-wise sum of c and o.
+func (c Counters) Add(o Counters) Counters {
+	return c.Sub(Counters{}.Sub(o))
+}
+
+// Tick runs one game tick of terrain simulation and returns the work
+// counters for the tick. A redstone tick runs on every second game tick.
+func (e *Engine) Tick() Counters {
+	e.counters = Counters{}
+	e.tick++
+	_, _, lightBefore := e.w.Stats()
+
+	// Due scheduled updates.
+	if due, ok := e.scheduled[e.tick]; ok {
+		delete(e.scheduled, e.tick)
+		for _, u := range due {
+			if b, _ := e.w.BlockIfLoaded(u.pos); b.IsRedstoneComponent() || u.kind != updateNeighbor {
+				e.redstonePending = append(e.redstonePending, u)
+			} else {
+				e.pending = append(e.pending, u)
+			}
+		}
+	}
+
+	budget := e.cfg.MaxUpdatesPerTick
+	if budget <= 0 {
+		budget = 200_000
+	}
+
+	// Drain the plain neighbour queue. Updates whose target turned into a
+	// logic component since they were enqueued are re-routed to the redstone
+	// queue at drain time.
+	budget = e.drain(&e.pending, budget, false)
+
+	// Redstone tick: logic components evaluate every second game tick.
+	if e.tick%2 == 0 {
+		budget = e.drain(&e.redstonePending, budget, true)
+		e.tickSpawners()
+		e.tickHoppers()
+	}
+
+	// Random ticks drive plant growth and similar slow processes.
+	e.randomTicks()
+
+	e.counters.Backlog = len(e.pending) + len(e.redstonePending)
+	_, _, lightAfter := e.w.Stats()
+	e.counters.LightScans += lightAfter - lightBefore
+	return e.counters
+}
+
+// drain applies updates from the queue until it empties or the budget is
+// exhausted; it returns the remaining budget. Updates enqueued during
+// processing are handled in the same drain (cascades run to completion
+// within the tick, budget permitting). When redstoneAllowed is false,
+// updates targeting logic components are deferred to the redstone queue
+// instead of applied, preserving the every-other-tick redstone cadence.
+func (e *Engine) drain(queue *[]scheduledUpdate, budget int, redstoneAllowed bool) int {
+	for len(*queue) > 0 && budget > 0 {
+		q := *queue
+		u := q[0]
+		*queue = q[1:]
+		if !redstoneAllowed {
+			if b, loaded := e.w.BlockIfLoaded(u.pos); loaded && b.IsRedstoneComponent() {
+				e.redstonePending = append(e.redstonePending, u)
+				continue
+			}
+		}
+		budget--
+		e.apply(u)
+	}
+	return budget
+}
+
+// TickNumber returns the current game-tick number.
+func (e *Engine) TickNumber() int64 { return e.tick }
+
+// PendingUpdates returns the size of the live update backlog.
+func (e *Engine) PendingUpdates() int { return len(e.pending) + len(e.redstonePending) }
+
+// tickSpawners activates spawner blocks on their period.
+func (e *Engine) tickSpawners() {
+	interval := int64(e.cfg.SpawnerIntervalTicks)
+	if interval <= 0 {
+		interval = 40
+	}
+	for p := range e.spawners {
+		// Offset by position hash so spawners do not fire in lockstep. The
+		// offset is kept even-aligned because this method only runs on
+		// redstone ticks.
+		half := interval / 2
+		if half < 1 {
+			half = 1
+		}
+		off := 2 * int64(uint64(p.X*73856093^p.Y*19349663^p.Z*83492791)%uint64(half))
+		if (e.tick+off)%interval == 0 {
+			e.counters.BlockUpdates++
+			e.ents.SpawnMob(p.Up())
+		}
+	}
+}
+
+// tickHoppers makes hoppers absorb item entities above them (every redstone
+// tick, approximating the 4-game-tick hopper cooldown).
+func (e *Engine) tickHoppers() {
+	for p := range e.hoppers {
+		e.counters.BlockUpdates++
+		n := e.ents.CollectItems(p.Up(), 1.2)
+		e.ItemsCollected += int64(n)
+	}
+}
+
+// randomTicks samples RandomTickRate random blocks per loaded chunk and
+// applies growth rules to them.
+func (e *Engine) randomTicks() {
+	rate := e.cfg.RandomTickRate
+	if rate <= 0 {
+		return
+	}
+	for _, cp := range e.w.LoadedChunks() {
+		origin := cp.Origin()
+		for i := 0; i < rate; i++ {
+			e.counters.RandomTicks++
+			p := world.Pos{
+				X: origin.X + e.rng.Intn(world.ChunkSize),
+				Y: e.rng.Intn(world.Height),
+				Z: origin.Z + e.rng.Intn(world.ChunkSize),
+			}
+			b, _ := e.w.BlockIfLoaded(p)
+			e.applyGrowth(p, b)
+		}
+	}
+}

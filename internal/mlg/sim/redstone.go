@@ -1,0 +1,257 @@
+package sim
+
+import "repro/internal/mlg/world"
+
+// Redstone-like logic simulation. Components evaluate on redstone ticks
+// (every second game tick). Power propagates through wire with decay 15→0;
+// torches invert the block beneath them; repeaters forward power along
+// their facing after a configurable delay; observers emit one-tick pulses
+// when the watched block changes; pistons push (and harvest) blocks.
+//
+// These are the "logic-gate constructs" of the Lag workload (§3.3.1) and
+// the drive circuitry of the Farm constructs (Table 3).
+
+// isReceivingPower reports whether any neighbour powers the position.
+// Directional components (repeater, observer) only power along their facing.
+func (e *Engine) isReceivingPower(p world.Pos) bool {
+	return e.incomingPower(p) > 0
+}
+
+// incomingPower returns the strongest power level delivered to p.
+func (e *Engine) incomingPower(p world.Pos) uint8 {
+	var best uint8
+	for _, d := range []world.Direction{world.DirUp, world.DirDown, world.DirNorth,
+		world.DirSouth, world.DirEast, world.DirWest} {
+		np := d.Move(p)
+		nb, loaded := e.w.BlockIfLoaded(np)
+		if !loaded {
+			continue
+		}
+		var pw uint8
+		switch nb.ID {
+		case world.Repeater:
+			// Directional: powers only the block it faces.
+			if nb.Facing().Move(np) == p {
+				pw = nb.PowerOutput()
+			}
+		case world.Observer:
+			// An observer watches its facing and outputs from its back.
+			if nb.Facing().Opposite().Move(np) == p {
+				pw = nb.PowerOutput()
+			}
+		case world.RedstoneTorch:
+			// A torch does not power the block it is attached to (the block
+			// directly beneath it) — otherwise every torch would switch its
+			// own base and oscillate.
+			if np != p.Up() {
+				pw = nb.PowerOutput()
+			}
+		case world.RedstoneWire:
+			w := nb.PowerOutput()
+			if w > 0 {
+				pw = w - 1
+			}
+		default:
+			pw = nb.PowerOutput()
+		}
+		if pw > best {
+			best = pw
+		}
+	}
+	return best
+}
+
+// updateWire recomputes a wire's power from its strongest input and
+// propagates the change to its neighbours via the world-change cascade.
+func (e *Engine) updateWire(p world.Pos, b world.Block) {
+	if e.cfg.RedstoneBatch {
+		// Bump the per-tick evaluation count (checked in apply).
+		if v := e.wireSeen[p]; v>>2 == e.tick {
+			e.wireSeen[p] = v + 1
+		} else {
+			e.wireSeen[p] = e.tick << 2
+		}
+	}
+	want := e.incomingPower(p)
+	if want != b.Meta&0x0F {
+		e.w.SetBlock(p, world.Block{ID: world.RedstoneWire, Meta: want & 0x0F})
+	}
+}
+
+// updateTorch inverts the power state of the block the torch stands on:
+// powered base → torch off, unpowered base → torch lit.
+func (e *Engine) updateTorch(p world.Pos, b world.Block) {
+	baseP := p.Down()
+	basePowered := e.incomingPower(baseP) > 0
+	lit := b.Meta&1 != 0
+	if basePowered == lit {
+		nb := b
+		if basePowered {
+			nb.Meta &^= 1
+		} else {
+			nb.Meta |= 1
+		}
+		e.w.SetBlock(p, nb)
+	}
+}
+
+// updateRepeater samples the repeater's input (the side opposite its
+// facing); a change schedules the output flip after the repeater's delay.
+func (e *Engine) updateRepeater(p world.Pos, b world.Block) {
+	inputPos := b.Facing().Opposite().Move(p)
+	inPowered := e.powerAt(inputPos, p)
+	if inPowered != b.RepeaterPowered() {
+		// The output change is latched now and applied after the delay,
+		// regardless of what the input does in between — otherwise two
+		// repeaters firing in the same tick could eat a travelling pulse.
+		var v uint8
+		if inPowered {
+			v = 1
+		}
+		e.scheduleVal(p, b.RepeaterDelay()*2, updateRepeaterFire, v) // delay in redstone ticks
+	}
+}
+
+// fireRepeater applies the latched output flip.
+func (e *Engine) fireRepeater(p world.Pos, val uint8) {
+	b, loaded := e.w.BlockIfLoaded(p)
+	if !loaded || b.ID != world.Repeater {
+		return
+	}
+	e.counters.RedstoneOps++
+	want := val != 0
+	if want != b.RepeaterPowered() {
+		e.w.SetBlock(p, b.WithRepeaterPowered(want))
+	}
+}
+
+// powerAt reports whether the block at p emits or conducts power toward the
+// consumer at dst.
+func (e *Engine) powerAt(p, dst world.Pos) bool {
+	b, loaded := e.w.BlockIfLoaded(p)
+	if !loaded {
+		return false
+	}
+	switch b.ID {
+	case world.Repeater:
+		return b.Facing().Move(p) == dst && b.PowerOutput() > 0
+	case world.Observer:
+		return b.Facing().Opposite().Move(p) == dst && b.PowerOutput() > 0
+	default:
+		return b.PowerOutput() > 0
+	}
+}
+
+// pulseObserver starts an observer's one-redstone-tick output pulse; the
+// pulse itself is a block change, so observers watching this observer fire
+// in turn — the feedback loop lag machines exploit.
+func (e *Engine) pulseObserver(p world.Pos, b world.Block) {
+	if b.ObserverPulsing() {
+		return
+	}
+	e.w.SetBlock(p, b.WithObserverPulse(true))
+	e.schedule(p, 2, updateObserverClear)
+}
+
+// updatePiston extends a powered piston and schedules retraction of an
+// unpowered one. Extension into a harvestable block breaks it and drops an
+// item — the harvest mechanism of the Farm constructs.
+func (e *Engine) updatePiston(p world.Pos, b world.Block) {
+	powered := e.isReceivingPower(p)
+	switch {
+	case powered && !b.PistonExtended():
+		e.extendPiston(p, b)
+	case !powered && b.PistonExtended():
+		e.schedule(p, 2, updatePistonRetract)
+	}
+}
+
+func (e *Engine) extendPiston(p world.Pos, b world.Block) {
+	head := b.Facing().Move(p)
+	target, loaded := e.w.BlockIfLoaded(head)
+	if !loaded {
+		return
+	}
+	switch {
+	case target.IsAir():
+		// Plain extension.
+	case isHarvestable(target.ID):
+		// Breaking a block drops its item. Harvesting kelp resets the age
+		// of the stalk below so the farm keeps producing (as players do by
+		// replanting).
+		e.counters.BlockRemoves++
+		e.ents.SpawnItem(head, harvestDrop(target.ID))
+		if target.ID == world.Kelp {
+			if below, _ := e.w.BlockIfLoaded(head.Down()); below.ID == world.Kelp {
+				e.w.SetBlock(head.Down(), world.Block{ID: world.Kelp, Meta: 0})
+			}
+		}
+	case target.IsSolid() && !immovable(target.ID):
+		// Push one block if there is room behind it.
+		dest := b.Facing().Move(head)
+		db, ok := e.w.BlockIfLoaded(dest)
+		if !ok || !db.IsAir() {
+			return
+		}
+		e.counters.BlockAdds++
+		e.counters.BlockRemoves++
+		e.w.SetBlock(dest, target)
+	default:
+		return
+	}
+	e.counters.BlockAdds++
+	e.w.SetBlock(head, world.B(world.PistonHead).WithFacing(b.Facing()))
+	e.w.SetBlock(p, b.WithPistonExtended(true))
+}
+
+func (e *Engine) retractPiston(p world.Pos, b world.Block) {
+	e.counters.RedstoneOps++
+	head := b.Facing().Move(p)
+	if hb, _ := e.w.BlockIfLoaded(head); hb.ID == world.PistonHead {
+		e.counters.BlockRemoves++
+		e.w.SetBlock(head, world.B(world.Air))
+	}
+	e.w.SetBlock(p, b.WithPistonExtended(false))
+}
+
+// isHarvestable lists blocks a piston push breaks into an item drop.
+func isHarvestable(id world.BlockID) bool {
+	switch id {
+	case world.Kelp, world.Wheat, world.Stone, world.Cobblestone, world.Ice,
+		world.Leaves, world.Sapling:
+		return true
+	default:
+		return false
+	}
+}
+
+// harvestDrop maps a broken block to the item it drops.
+func harvestDrop(id world.BlockID) world.BlockID {
+	if id == world.Stone {
+		return world.Cobblestone
+	}
+	return id
+}
+
+// immovable lists blocks pistons cannot push.
+func immovable(id world.BlockID) bool {
+	switch id {
+	case world.Bedrock, world.Obsidian, world.Piston, world.PistonHead,
+		world.Observer, world.Hopper, world.Chest, world.Dropper, world.Spawner:
+		return true
+	default:
+		return false
+	}
+}
+
+// igniteTNT converts a TNT block into a primed TNT entity with the standard
+// 80-tick fuse (4 seconds).
+func (e *Engine) igniteTNT(p world.Pos) {
+	b, loaded := e.w.BlockIfLoaded(p)
+	if !loaded || b.ID != world.TNT {
+		return
+	}
+	e.counters.BlockRemoves++
+	e.w.SetBlock(p, world.B(world.Air))
+	e.ents.SpawnPrimedTNT(p, 80)
+}

@@ -1,0 +1,139 @@
+package world
+
+// Chunk geometry. MLG worlds are split into columns of ChunkSize×ChunkSize
+// blocks (§2.2.2: "This world is split into areas, which are lazily
+// generated when players come near them"). Height is bounded to keep the
+// engine compact; every workload world fits comfortably.
+const (
+	// ChunkSize is the horizontal extent of a chunk in blocks.
+	ChunkSize = 16
+	// Height is the vertical extent of the world in blocks.
+	Height = 64
+	// SeaLevel is the water-fill level used by terrain generation.
+	SeaLevel = 22
+)
+
+// ChunkPos identifies a chunk column by its chunk-grid coordinates.
+type ChunkPos struct {
+	X, Z int32
+}
+
+// ChunkPosAt returns the chunk containing the block position.
+func ChunkPosAt(p Pos) ChunkPos {
+	return ChunkPos{X: int32(floorDiv(p.X, ChunkSize)), Z: int32(floorDiv(p.Z, ChunkSize))}
+}
+
+// Origin returns the world position of the chunk's (0, 0, 0) corner.
+func (cp ChunkPos) Origin() Pos {
+	return Pos{X: int(cp.X) * ChunkSize, Y: 0, Z: int(cp.Z) * ChunkSize}
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func floorMod(a, b int) int {
+	m := a % b
+	if m != 0 && ((a < 0) != (b < 0)) {
+		m += b
+	}
+	return m
+}
+
+// Chunk is one ChunkSize×Height×ChunkSize column of blocks plus its derived
+// lighting data. Blocks are stored in a flat array indexed Y-major so a
+// column scan is contiguous.
+type Chunk struct {
+	Pos    ChunkPos
+	blocks [ChunkSize * ChunkSize * Height]Block
+	// lightHeight caches, per column, the Y of the highest opaque block + 1:
+	// the sky-light horizon. Terrain changes above/at the horizon force a
+	// column recompute, the dynamic-lighting workload of §2.2.2.
+	lightHeight [ChunkSize * ChunkSize]uint8
+	// nonAir tracks occupancy for cheap emptiness checks and size reporting.
+	nonAir int
+}
+
+// NewChunk returns an empty (all-air) chunk at the given position.
+func NewChunk(cp ChunkPos) *Chunk { return &Chunk{Pos: cp} }
+
+func blockIndex(lx, y, lz int) int { return (y*ChunkSize+lz)*ChunkSize + lx }
+
+// At returns the block at chunk-local coordinates. Out-of-range coordinates
+// return air.
+func (c *Chunk) At(lx, y, lz int) Block {
+	if lx < 0 || lx >= ChunkSize || lz < 0 || lz >= ChunkSize || y < 0 || y >= Height {
+		return Block{}
+	}
+	return c.blocks[blockIndex(lx, y, lz)]
+}
+
+// Set stores a block at chunk-local coordinates and returns the previous
+// block. Out-of-range coordinates are ignored and return air.
+func (c *Chunk) Set(lx, y, lz int, b Block) Block {
+	if lx < 0 || lx >= ChunkSize || lz < 0 || lz >= ChunkSize || y < 0 || y >= Height {
+		return Block{}
+	}
+	idx := blockIndex(lx, y, lz)
+	old := c.blocks[idx]
+	c.blocks[idx] = b
+	switch {
+	case old.IsAir() && !b.IsAir():
+		c.nonAir++
+	case !old.IsAir() && b.IsAir():
+		c.nonAir--
+	}
+	return old
+}
+
+// NonAirCount returns the number of non-air blocks in the chunk.
+func (c *Chunk) NonAirCount() int { return c.nonAir }
+
+// LightHorizon returns the cached sky-light horizon for a column.
+func (c *Chunk) LightHorizon(lx, lz int) int {
+	return int(c.lightHeight[lz*ChunkSize+lx])
+}
+
+// RecomputeColumnLight rescans one column for its highest opaque block and
+// updates the cached horizon. It returns the number of blocks scanned, which
+// the simulation counts as lighting work.
+func (c *Chunk) RecomputeColumnLight(lx, lz int) int {
+	scanned := 0
+	for y := Height - 1; y >= 0; y-- {
+		scanned++
+		if c.blocks[blockIndex(lx, y, lz)].IsOpaque() {
+			c.lightHeight[lz*ChunkSize+lx] = uint8(y + 1)
+			return scanned
+		}
+	}
+	c.lightHeight[lz*ChunkSize+lx] = 0
+	return scanned
+}
+
+// RecomputeAllLight recomputes every column's horizon (used after chunk
+// generation) and returns the blocks scanned.
+func (c *Chunk) RecomputeAllLight() int {
+	scanned := 0
+	for lz := 0; lz < ChunkSize; lz++ {
+		for lx := 0; lx < ChunkSize; lx++ {
+			scanned += c.RecomputeColumnLight(lx, lz)
+		}
+	}
+	return scanned
+}
+
+// HighestSolidY returns the Y of the highest solid block in the column, or
+// -1 if the column is empty. Used for spawn-point computation and terrain
+// queries.
+func (c *Chunk) HighestSolidY(lx, lz int) int {
+	for y := Height - 1; y >= 0; y-- {
+		if c.blocks[blockIndex(lx, y, lz)].IsSolid() {
+			return y
+		}
+	}
+	return -1
+}

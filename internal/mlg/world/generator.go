@@ -1,0 +1,158 @@
+package world
+
+// Generator produces terrain for chunks as they are lazily loaded.
+type Generator interface {
+	// GenerateChunk fills the chunk with terrain. Implementations must be
+	// deterministic: the same chunk position always yields the same terrain.
+	GenerateChunk(c *Chunk)
+}
+
+// NoiseGenerator is the default world generator: a fractal value-noise
+// heightmap with bedrock, stone, dirt/grass strata, sand near water, water
+// filling depressions up to sea level, and sparse trees. It stands in for
+// Minecraft's generator of the Control world (seed -392114485 in the paper);
+// the same seed default is kept for flavour.
+type NoiseGenerator struct {
+	Seed int64
+	// Amplitude is the height swing of the terrain around BaseHeight.
+	Amplitude float64
+	// BaseHeight is the mean terrain height.
+	BaseHeight float64
+	// Trees enables sparse tree placement.
+	Trees bool
+
+	height noise2
+	detail noise2
+}
+
+// PaperControlSeed is the world seed the paper generated its Control world
+// with (Minecraft 1.16.4, seed -392114485).
+const PaperControlSeed = -392114485
+
+// NewNoiseGenerator returns a generator with the default terrain shape.
+func NewNoiseGenerator(seed int64) *NoiseGenerator {
+	return &NoiseGenerator{
+		Seed:       seed,
+		Amplitude:  14,
+		BaseHeight: 24,
+		Trees:      true,
+		height:     noise2{seed: seed},
+		detail:     noise2{seed: seed ^ 0x5DEECE66D},
+	}
+}
+
+// GenerateChunk implements Generator.
+func (g *NoiseGenerator) GenerateChunk(c *Chunk) {
+	origin := c.Pos.Origin()
+	for lz := 0; lz < ChunkSize; lz++ {
+		for lx := 0; lx < ChunkSize; lx++ {
+			wx, wz := float64(origin.X+lx), float64(origin.Z+lz)
+			h := g.BaseHeight + (g.height.fractal(wx, wz, 4, 1.0/64)-0.5)*2*g.Amplitude
+			top := int(h)
+			if top < 2 {
+				top = 2
+			}
+			if top >= Height-8 {
+				top = Height - 9
+			}
+			g.fillColumn(c, lx, lz, top)
+		}
+	}
+	if g.Trees {
+		g.placeTrees(c)
+	}
+	c.RecomputeAllLight()
+}
+
+func (g *NoiseGenerator) fillColumn(c *Chunk, lx, lz, top int) {
+	c.Set(lx, 0, lz, B(Bedrock))
+	for y := 1; y <= top; y++ {
+		switch {
+		case y < top-3:
+			c.Set(lx, y, lz, B(Stone))
+		case y < top:
+			c.Set(lx, y, lz, B(Dirt))
+		default:
+			if top <= SeaLevel {
+				c.Set(lx, y, lz, B(Sand))
+			} else {
+				c.Set(lx, y, lz, B(Grass))
+			}
+		}
+	}
+	// Fill depressions with water up to sea level.
+	for y := top + 1; y <= SeaLevel; y++ {
+		c.Set(lx, y, lz, B(Water))
+	}
+}
+
+func (g *NoiseGenerator) placeTrees(c *Chunk) {
+	origin := c.Pos.Origin()
+	// Interior placement only, so trees never straddle a chunk border and
+	// generation stays chunk-local and order independent.
+	for lz := 2; lz < ChunkSize-2; lz++ {
+		for lx := 2; lx < ChunkSize-2; lx++ {
+			wx, wz := int64(origin.X+lx), int64(origin.Z+lz)
+			if g.detail.hash2(wx, wz) > 0.015 { // ~1.5% of eligible columns
+				continue
+			}
+			top := c.HighestSolidY(lx, lz)
+			if top <= SeaLevel || top < 1 || c.At(lx, top, lz).ID != Grass {
+				continue
+			}
+			trunkH := 4 + int(g.detail.hash2(wx^7, wz^13)*3)
+			for y := top + 1; y <= top+trunkH && y < Height-2; y++ {
+				c.Set(lx, y, lz, B(Wood))
+			}
+			// Leaf cap: 3×3×2 around the trunk top.
+			for dy := 0; dy <= 1; dy++ {
+				for dz := -1; dz <= 1; dz++ {
+					for dx := -1; dx <= 1; dx++ {
+						y := top + trunkH + dy
+						if y >= Height {
+							continue
+						}
+						if c.At(lx+dx, y, lz+dz).IsAir() {
+							c.Set(lx+dx, y, lz+dz, B(Leaves))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// FlatGenerator produces a flat slab of the given surface block at the given
+// height — the deterministic arena used by construct-heavy workload worlds
+// (TNT, Lag) and by tests.
+type FlatGenerator struct {
+	// SurfaceY is the Y of the top solid layer.
+	SurfaceY int
+	// Surface is the block type of the top layer (default grass).
+	Surface BlockID
+}
+
+// GenerateChunk implements Generator.
+func (g *FlatGenerator) GenerateChunk(c *Chunk) {
+	top := g.SurfaceY
+	if top < 1 {
+		top = 1
+	}
+	if top >= Height {
+		top = Height - 1
+	}
+	surface := g.Surface
+	if surface == Air {
+		surface = Grass
+	}
+	for lz := 0; lz < ChunkSize; lz++ {
+		for lx := 0; lx < ChunkSize; lx++ {
+			c.Set(lx, 0, lz, B(Bedrock))
+			for y := 1; y < top; y++ {
+				c.Set(lx, y, lz, B(Stone))
+			}
+			c.Set(lx, top, lz, B(surface))
+		}
+	}
+	c.RecomputeAllLight()
+}

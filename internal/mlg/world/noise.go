@@ -1,0 +1,54 @@
+package world
+
+import "math"
+
+// noise2 is a seeded 2-D fractal value-noise field, the terrain-height
+// source for the default generator. Value noise (hash lattice points, smooth
+// interpolation, sum octaves) is deterministic per seed and allocation-free,
+// which keeps lazy chunk generation cheap and reproducible.
+type noise2 struct {
+	seed int64
+}
+
+// hash2 hashes integer lattice coordinates to [0, 1).
+func (n noise2) hash2(x, z int64) float64 {
+	h := uint64(n.seed)
+	h ^= uint64(x) * 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h ^= uint64(z) * 0xC2B2AE3D27D4EB4F
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}
+
+// smoothstep is the C1-continuous interpolation fade.
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// at samples one octave of value noise at continuous coordinates.
+func (n noise2) at(x, z float64) float64 {
+	x0, z0 := math.Floor(x), math.Floor(z)
+	tx, tz := smoothstep(x-x0), smoothstep(z-z0)
+	ix, iz := int64(x0), int64(z0)
+	v00 := n.hash2(ix, iz)
+	v10 := n.hash2(ix+1, iz)
+	v01 := n.hash2(ix, iz+1)
+	v11 := n.hash2(ix+1, iz+1)
+	a := v00 + (v10-v00)*tx
+	b := v01 + (v11-v01)*tx
+	return a + (b-a)*tz
+}
+
+// fractal sums octaves of value noise with persistence 0.5, normalized to
+// [0, 1].
+func (n noise2) fractal(x, z float64, octaves int, baseFreq float64) float64 {
+	var sum, amp, norm float64
+	amp = 1
+	freq := baseFreq
+	for o := 0; o < octaves; o++ {
+		sum += n.at(x*freq, z*freq) * amp
+		norm += amp
+		amp *= 0.5
+		freq *= 2
+	}
+	return sum / norm
+}

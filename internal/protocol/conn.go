@@ -1,0 +1,143 @@
+package protocol
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrameSize bounds a single packet frame; larger frames are rejected as
+// malformed (protects against corrupt length prefixes).
+const MaxFrameSize = 4 << 20
+
+// Conn frames packets over a byte stream. It is safe for one concurrent
+// reader and one concurrent writer. Byte and message counters feed the
+// Table 8 network statistics.
+type Conn struct {
+	rw io.ReadWriteCloser
+	br *bufio.Reader
+
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	wbuf []byte
+
+	statsMu      sync.Mutex
+	msgsOut      int64
+	bytesOut     int64
+	entityMsgs   int64
+	entityBytes  int64
+	msgsIn       int64
+	bytesIn      int64
+	lastActivity time.Time
+}
+
+// NewConn wraps a stream (usually a *net.TCPConn) in a packet framer.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{
+		rw: rw,
+		br: bufio.NewReaderSize(rw, 32<<10),
+		bw: bufio.NewWriterSize(rw, 32<<10),
+	}
+}
+
+// Dial connects a packet conn to a TCP address.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("protocol dial: %w", err)
+	}
+	return NewConn(c), nil
+}
+
+// WritePacket frames and sends one packet, returning the frame size in
+// bytes. It flushes immediately: game traffic is latency sensitive.
+func (c *Conn) WritePacket(p Packet) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+
+	c.wbuf = c.wbuf[:0]
+	c.wbuf = AppendVarint(c.wbuf, int32(p.ID()))
+	c.wbuf = p.MarshalBody(c.wbuf)
+
+	frame := VarintLen(int32(len(c.wbuf))) + len(c.wbuf)
+	var hdr [maxVarintBytes]byte
+	n := AppendVarint(hdr[:0], int32(len(c.wbuf)))
+	if _, err := c.bw.Write(n); err != nil {
+		return 0, err
+	}
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+
+	c.statsMu.Lock()
+	c.msgsOut++
+	c.bytesOut += int64(frame)
+	if EntityRelated(p) {
+		c.entityMsgs++
+		c.entityBytes += int64(frame)
+	}
+	c.lastActivity = time.Now()
+	c.statsMu.Unlock()
+	return frame, nil
+}
+
+// ReadPacket reads and decodes the next packet, returning it and the frame
+// size in bytes.
+func (c *Conn) ReadPacket() (Packet, int, error) {
+	length, err := ReadVarint(c.br)
+	if err != nil {
+		return nil, 0, err
+	}
+	if length < 1 || length > MaxFrameSize {
+		return nil, 0, fmt.Errorf("protocol: bad frame length %d", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return nil, 0, err
+	}
+	id, body, err := readVarintBytes(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	p, err := New(PacketID(id))
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := p.UnmarshalBody(body); err != nil {
+		return nil, 0, fmt.Errorf("protocol: decode %#x: %w", id, err)
+	}
+	frame := VarintLen(length) + int(length)
+	c.statsMu.Lock()
+	c.msgsIn++
+	c.bytesIn += int64(frame)
+	c.lastActivity = time.Now()
+	c.statsMu.Unlock()
+	return p, frame, nil
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.rw.Close() }
+
+// Stats is a snapshot of the connection's traffic counters.
+type Stats struct {
+	MsgsOut, BytesOut       int64
+	EntityMsgs, EntityBytes int64
+	MsgsIn, BytesIn         int64
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Conn) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return Stats{
+		MsgsOut: c.msgsOut, BytesOut: c.bytesOut,
+		EntityMsgs: c.entityMsgs, EntityBytes: c.entityBytes,
+		MsgsIn: c.msgsIn, BytesIn: c.bytesIn,
+	}
+}

@@ -1,0 +1,63 @@
+// Package protocol implements the MLG wire protocol (component 4 of the
+// paper's reference architecture, Figure 2): a varint-framed binary packet
+// protocol over TCP, in the style of the Minecraft protocol. Clients and the
+// player emulator speak it against the game server; the control plane uses
+// its own line protocol (package control).
+//
+// Frame layout: varint payload length, then payload = varint packet ID
+// followed by the packet body. Strings are varint-length-prefixed UTF-8;
+// floats are IEEE 754 bits big-endian.
+package protocol
+
+import (
+	"errors"
+	"io"
+)
+
+// Varint limits.
+const maxVarintBytes = 5
+
+// ErrVarintTooLong reports a malformed varint of more than 5 bytes.
+var ErrVarintTooLong = errors.New("protocol: varint too long")
+
+// AppendVarint appends the zigzag-free unsigned LEB128 encoding of v
+// (interpreted as uint32, the Minecraft convention) to dst.
+func AppendVarint(dst []byte, v int32) []byte {
+	u := uint32(v)
+	for {
+		b := byte(u & 0x7F)
+		u >>= 7
+		if u != 0 {
+			dst = append(dst, b|0x80)
+		} else {
+			return append(dst, b)
+		}
+	}
+}
+
+// ReadVarint decodes a varint from r.
+func ReadVarint(r io.ByteReader) (int32, error) {
+	var result uint32
+	for i := 0; i < maxVarintBytes; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		result |= uint32(b&0x7F) << (7 * i)
+		if b&0x80 == 0 {
+			return int32(result), nil
+		}
+	}
+	return 0, ErrVarintTooLong
+}
+
+// VarintLen returns the encoded size of v in bytes.
+func VarintLen(v int32) int {
+	u := uint32(v)
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}

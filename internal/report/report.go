@@ -1,0 +1,212 @@
+// Package report renders benchmark results: CSV files for every table and
+// figure (the Data Retrieval / aggregation role of Figure 5, components 9
+// and 10) and ASCII plots (box rows, time series, bar charts) standing in
+// for the paper's Data Visualization component.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// WriteCSV writes a header plus rows to path, creating parent directories.
+func WriteCSV(path string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// F formats a float with sensible precision for tables.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// BoxRow renders one labelled box-and-whisker row on a linear scale from 0
+// to max: whiskers at P5/P95, box between P25 and P75, median bar, mean
+// diamond — the presentation of Figures 7, 10 and 12.
+func BoxRow(label string, s metrics.Summary, max float64, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if max <= 0 {
+		max = 1
+	}
+	col := func(v float64) int {
+		c := int(v / max * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := make([]rune, width)
+	for i := range row {
+		row[i] = ' '
+	}
+	lo, hi := col(s.P5), col(s.P95)
+	for i := lo; i <= hi; i++ {
+		row[i] = '-'
+	}
+	for i := col(s.P25); i <= col(s.P75); i++ {
+		row[i] = '█'
+	}
+	row[col(s.Median)] = '|'
+	row[col(s.Mean)] = '◆'
+	return fmt.Sprintf("%-28s [%s] p95=%s max=%s", label, string(row), F(s.P95), F(s.Max))
+}
+
+// Sparkline renders values as a compact unicode sparkline.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width <= 0 || width > len(values) {
+		width = len(values)
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	// Downsample by max within buckets (spikes matter).
+	bucketed := make([]float64, width)
+	per := float64(len(values)) / float64(width)
+	for i := 0; i < width; i++ {
+		lo, hi := int(float64(i)*per), int(float64(i+1)*per)
+		if hi > len(values) {
+			hi = len(values)
+		}
+		m := 0.0
+		for _, v := range values[lo:hi] {
+			if v > m {
+				m = v
+			}
+		}
+		bucketed[i] = m
+	}
+	var max float64
+	for _, v := range bucketed {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	for _, v := range bucketed {
+		idx := int(v / max * float64(len(levels)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// Bar renders a labelled horizontal bar scaled to max.
+func Bar(label string, v, max float64, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	if width < 10 {
+		width = 10
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return fmt.Sprintf("%-28s %s %s", label, strings.Repeat("█", n), F(v))
+}
+
+// StackedRow renders category shares as a proportional stacked bar, used
+// for the Figure 11 tick-distribution plot. shares must be fractions
+// summing to ~1; glyphs assigns one rune per category.
+func StackedRow(label string, shares []float64, glyphs []rune, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	for i, s := range shares {
+		n := int(s * float64(width))
+		g := '?'
+		if i < len(glyphs) {
+			g = glyphs[i]
+		}
+		for j := 0; j < n; j++ {
+			b.WriteRune(g)
+		}
+	}
+	return fmt.Sprintf("%-28s %s", label, b.String())
+}

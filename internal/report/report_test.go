@@ -1,0 +1,103 @@
+package report
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "out.csv")
+	header := []string{"a", "b"}
+	rows := [][]string{{"1", "x"}, {"2", "y,z"}}
+	if err := WriteCSV(path, header, rows); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0][0] != "a" || got[2][1] != "y,z" {
+		t.Fatalf("csv content wrong: %v", got)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{0: "0", 123.4: "123", 12.34: "12.3", 0.1234: "0.123"}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "v"}, [][]string{{"longer-name", "1"}, {"x", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) == 0 || !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("table format wrong:\n%s", out)
+	}
+}
+
+func TestBoxRowMarkersInOrder(t *testing.T) {
+	// Skewed sample so mean and median land on different columns.
+	s := metrics.Summarize([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 1000})
+	row := BoxRow("test", s, 1000, 60)
+	if !strings.Contains(row, "█") || !strings.Contains(row, "|") || !strings.Contains(row, "◆") {
+		t.Fatalf("missing markers: %q", row)
+	}
+	if !strings.Contains(row, "p95=") {
+		t.Fatal("missing p95 annotation")
+	}
+}
+
+func TestBoxRowDegenerate(t *testing.T) {
+	// Must not panic on zero summaries or tiny widths.
+	_ = BoxRow("zero", metrics.Summary{}, 0, 5)
+	_ = BoxRow("one", metrics.Summarize([]float64{5}), 100, 25)
+}
+
+func TestSparkline(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	sl := Sparkline(vals, 8)
+	if len([]rune(sl)) != 8 {
+		t.Fatalf("sparkline length %d", len([]rune(sl)))
+	}
+	if []rune(sl)[0] == []rune(sl)[7] {
+		t.Fatal("sparkline flat for rising data")
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	// Downsampling keeps the spike visible.
+	long := make([]float64, 1000)
+	long[500] = 100
+	sl = Sparkline(long, 40)
+	if !strings.ContainsRune(sl, '█') {
+		t.Fatal("spike lost in downsampling")
+	}
+}
+
+func TestBarAndStacked(t *testing.T) {
+	b := Bar("x", 50, 100, 20)
+	if !strings.Contains(b, "██████████") {
+		t.Fatalf("bar wrong: %q", b)
+	}
+	sr := StackedRow("y", []float64{0.5, 0.5}, []rune{'A', 'B'}, 10)
+	if !strings.Contains(sr, "AAAAA") || !strings.Contains(sr, "BBBBB") {
+		t.Fatalf("stacked row wrong: %q", sr)
+	}
+}

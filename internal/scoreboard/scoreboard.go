@@ -1,0 +1,240 @@
+// Package scoreboard implements the public benchmark score-board the paper
+// proposes as future work (§8: "we aim to create a public score-board where
+// operators of MLG-as-a-service can publish benchmark scores").
+//
+// Operators submit Meterstick run results as Scores; the board validates,
+// stores and ranks them per (workload, environment) division, ordered by
+// Instability Ratio (lower is more stable) with mean tick time as the tie
+// breaker. A stdlib net/http handler exposes the board as a JSON API:
+//
+//	POST /scores            submit a score
+//	GET  /scores            list all scores
+//	GET  /rankings?workload=Farm&environment=AWS-t3.large
+package scoreboard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Score is one published benchmark result.
+type Score struct {
+	// Operator identifies who published the score (a service name).
+	Operator string `json:"operator"`
+	// MLG, Workload and Environment identify the benchmark configuration.
+	MLG         string `json:"mlg"`
+	Workload    string `json:"workload"`
+	Environment string `json:"environment"`
+	// ISR is the Instability Ratio of the run (lower is better).
+	ISR float64 `json:"isr"`
+	// TickMeanMS and TickP95MS summarize tick durations.
+	TickMeanMS float64 `json:"tick_mean_ms"`
+	TickP95MS  float64 `json:"tick_p95_ms"`
+	// ResponseP95MS summarizes player-visible latency.
+	ResponseP95MS float64 `json:"response_p95_ms"`
+	// Crashed marks runs that did not survive the workload.
+	Crashed bool `json:"crashed"`
+	// SubmittedAt is stamped by the board.
+	SubmittedAt time.Time `json:"submitted_at"`
+}
+
+// FromResult builds a Score from a benchmark run result.
+func FromResult(operator string, r core.RunResult) Score {
+	return Score{
+		Operator:      operator,
+		MLG:           r.Flavor,
+		Workload:      r.Workload,
+		Environment:   r.Environment,
+		ISR:           r.ISR,
+		TickMeanMS:    r.TickSummary.Mean,
+		TickP95MS:     r.TickSummary.P95,
+		ResponseP95MS: r.ResponseSummary.P95,
+		Crashed:       r.Crashed,
+	}
+}
+
+// Validate checks a submission.
+func (s Score) Validate() error {
+	switch {
+	case strings.TrimSpace(s.Operator) == "":
+		return errors.New("scoreboard: operator required")
+	case strings.TrimSpace(s.MLG) == "":
+		return errors.New("scoreboard: mlg required")
+	case strings.TrimSpace(s.Workload) == "":
+		return errors.New("scoreboard: workload required")
+	case strings.TrimSpace(s.Environment) == "":
+		return errors.New("scoreboard: environment required")
+	case s.ISR < 0 || s.ISR > 1:
+		return fmt.Errorf("scoreboard: ISR %v outside [0,1]", s.ISR)
+	case s.TickMeanMS < 0 || s.TickP95MS < 0 || s.ResponseP95MS < 0:
+		return errors.New("scoreboard: negative statistics")
+	default:
+		return nil
+	}
+}
+
+// Division identifies one ranking bucket.
+type Division struct {
+	Workload    string `json:"workload"`
+	Environment string `json:"environment"`
+}
+
+// Board is an in-memory, concurrency-safe score-board.
+type Board struct {
+	mu     sync.RWMutex
+	scores []Score
+	now    func() time.Time
+}
+
+// New returns an empty board.
+func New() *Board { return &Board{now: time.Now} }
+
+// Submit validates and stores a score, returning the stored copy.
+func (b *Board) Submit(s Score) (Score, error) {
+	if err := s.Validate(); err != nil {
+		return Score{}, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s.SubmittedAt = b.now()
+	b.scores = append(b.scores, s)
+	return s, nil
+}
+
+// Len returns the number of stored scores.
+func (b *Board) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.scores)
+}
+
+// Scores returns all stored scores, newest last.
+func (b *Board) Scores() []Score {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]Score(nil), b.scores...)
+}
+
+// Rankings returns the division's scores, best first: non-crashed runs
+// ordered by ISR then mean tick time, crashed runs last. Only each
+// operator+MLG pair's best entry is ranked (operators may resubmit).
+func (b *Board) Rankings(d Division) []Score {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+
+	better := func(a, c Score) bool {
+		if a.Crashed != c.Crashed {
+			return !a.Crashed
+		}
+		if a.ISR != c.ISR {
+			return a.ISR < c.ISR
+		}
+		return a.TickMeanMS < c.TickMeanMS
+	}
+
+	best := map[string]Score{}
+	for _, s := range b.scores {
+		if s.Workload != d.Workload || s.Environment != d.Environment {
+			continue
+		}
+		key := s.Operator + "\x00" + s.MLG
+		if cur, ok := best[key]; !ok || better(s, cur) {
+			best[key] = s
+		}
+	}
+	out := make([]Score, 0, len(best))
+	for _, s := range best {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if better(out[i], out[j]) {
+			return true
+		}
+		if better(out[j], out[i]) {
+			return false
+		}
+		// Stable total order for ties.
+		if out[i].Operator != out[j].Operator {
+			return out[i].Operator < out[j].Operator
+		}
+		return out[i].MLG < out[j].MLG
+	})
+	return out
+}
+
+// Divisions lists every (workload, environment) bucket with scores.
+func (b *Board) Divisions() []Division {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	seen := map[Division]bool{}
+	var out []Division
+	for _, s := range b.scores {
+		d := Division{Workload: s.Workload, Environment: s.Environment}
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		return out[i].Environment < out[j].Environment
+	})
+	return out
+}
+
+// Handler returns the board's HTTP API.
+func (b *Board) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/scores", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, b.Scores())
+		case http.MethodPost:
+			var s Score
+			if err := json.NewDecoder(r.Body).Decode(&s); err != nil {
+				http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			stored, err := b.Submit(s)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			writeJSON(w, http.StatusCreated, stored)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/rankings", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		d := Division{
+			Workload:    r.URL.Query().Get("workload"),
+			Environment: r.URL.Query().Get("environment"),
+		}
+		if d.Workload == "" || d.Environment == "" {
+			writeJSON(w, http.StatusOK, b.Divisions())
+			return
+		}
+		writeJSON(w, http.StatusOK, b.Rankings(d))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,241 @@
+package scoreboard
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func score(op, mlg string, isr, tick float64) Score {
+	return Score{Operator: op, MLG: mlg, Workload: "Farm",
+		Environment: "AWS-t3.large", ISR: isr, TickMeanMS: tick}
+}
+
+func TestSubmitAndValidate(t *testing.T) {
+	b := New()
+	if _, err := b.Submit(score("hostco", "PaperMC", 0.03, 22)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 {
+		t.Fatal("score not stored")
+	}
+	got := b.Scores()[0]
+	if got.SubmittedAt.IsZero() {
+		t.Fatal("submission not timestamped")
+	}
+
+	bad := []Score{
+		{},
+		score("", "X", 0.1, 10),
+		score("op", "", 0.1, 10),
+		{Operator: "op", MLG: "X", Workload: "Farm"}, // missing env
+		score("op", "X", -0.1, 10),
+		score("op", "X", 1.5, 10),
+		score("op", "X", 0.1, -1),
+	}
+	for i, s := range bad {
+		if _, err := b.Submit(s); err == nil {
+			t.Errorf("bad score %d accepted", i)
+		}
+	}
+	if b.Len() != 1 {
+		t.Fatal("invalid scores stored")
+	}
+}
+
+func TestRankingsOrderAndDedup(t *testing.T) {
+	b := New()
+	mustSubmit := func(s Score) {
+		t.Helper()
+		if _, err := b.Submit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSubmit(score("alpha", "Minecraft", 0.10, 40))
+	mustSubmit(score("alpha", "Minecraft", 0.05, 35)) // resubmission: better
+	mustSubmit(score("beta", "PaperMC", 0.02, 20))
+	mustSubmit(score("gamma", "Forge", 0.02, 50)) // ISR tie: slower ticks
+	crashed := score("delta", "Minecraft", 0.9, 900)
+	crashed.Crashed = true
+	mustSubmit(crashed)
+	// Different division must not leak in.
+	other := score("omega", "Minecraft", 0.001, 5)
+	other.Workload = "Control"
+	mustSubmit(other)
+
+	r := b.Rankings(Division{Workload: "Farm", Environment: "AWS-t3.large"})
+	if len(r) != 4 {
+		t.Fatalf("rankings = %d entries, want 4", len(r))
+	}
+	if r[0].Operator != "beta" {
+		t.Errorf("winner = %s, want beta", r[0].Operator)
+	}
+	if r[1].Operator != "gamma" {
+		t.Errorf("second = %s, want gamma (ISR tie, faster ticks win)", r[1].Operator)
+	}
+	if r[2].Operator != "alpha" || r[2].ISR != 0.05 {
+		t.Errorf("third = %+v, want alpha's best resubmission", r[2])
+	}
+	if !r[3].Crashed {
+		t.Error("crashed run must rank last")
+	}
+}
+
+func TestDivisions(t *testing.T) {
+	b := New()
+	b.Submit(score("a", "X", 0.1, 10))
+	c := score("a", "X", 0.1, 10)
+	c.Workload = "Control"
+	b.Submit(c)
+	divs := b.Divisions()
+	if len(divs) != 2 {
+		t.Fatalf("divisions = %d, want 2", len(divs))
+	}
+	if divs[0].Workload != "Control" {
+		t.Error("divisions not sorted")
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	r := core.RunResult{
+		Flavor: "PaperMC", Workload: "TNT", Environment: "DAS5-2core",
+		ISR:             0.03,
+		TickSummary:     metrics.Summarize([]float64{10, 20, 30}),
+		ResponseSummary: metrics.Summarize([]float64{40, 50}),
+	}
+	s := FromResult("hostco", r)
+	if s.MLG != "PaperMC" || s.Workload != "TNT" || s.ISR != 0.03 {
+		t.Fatalf("conversion wrong: %+v", s)
+	}
+	if s.TickMeanMS != 20 {
+		t.Fatalf("tick mean = %v", s.TickMeanMS)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	b := New()
+	srv := httptest.NewServer(b.Handler())
+	defer srv.Close()
+
+	// Submit via POST.
+	body, _ := json.Marshal(score("hostco", "Forge", 0.07, 33))
+	resp, err := http.Post(srv.URL+"/scores", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST status = %d", resp.StatusCode)
+	}
+	var stored Score
+	if err := json.NewDecoder(resp.Body).Decode(&stored); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stored.SubmittedAt.IsZero() {
+		t.Fatal("stored score missing timestamp")
+	}
+
+	// Invalid submission is rejected.
+	resp, err = http.Post(srv.URL+"/scores", "application/json", bytes.NewReader([]byte(`{"isr":2}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid POST status = %d", resp.StatusCode)
+	}
+
+	// List via GET.
+	resp, err = http.Get(srv.URL + "/scores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Score
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(all) != 1 {
+		t.Fatalf("GET /scores = %d entries", len(all))
+	}
+
+	// Rankings via GET with query.
+	resp, err = http.Get(srv.URL + "/rankings?workload=Farm&environment=AWS-t3.large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ranked []Score
+	if err := json.NewDecoder(resp.Body).Decode(&ranked); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(ranked) != 1 || ranked[0].Operator != "hostco" {
+		t.Fatalf("rankings wrong: %+v", ranked)
+	}
+
+	// Rankings without query lists divisions.
+	resp, err = http.Get(srv.URL + "/rankings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var divs []Division
+	if err := json.NewDecoder(resp.Body).Decode(&divs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(divs) != 1 {
+		t.Fatalf("divisions = %d", len(divs))
+	}
+
+	// Bad method.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/scores", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	b := New()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				b.Submit(score("op", "MLG", 0.1, float64(i*100+j)))
+				b.Rankings(Division{Workload: "Farm", Environment: "AWS-t3.large"})
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if b.Len() != 800 {
+		t.Fatalf("scores = %d, want 800", b.Len())
+	}
+}
+
+func TestTimestampMonotone(t *testing.T) {
+	b := New()
+	tick := time.Unix(0, 0)
+	b.now = func() time.Time { tick = tick.Add(time.Second); return tick }
+	b.Submit(score("a", "X", 0.1, 1))
+	b.Submit(score("b", "X", 0.1, 1))
+	all := b.Scores()
+	if !all[1].SubmittedAt.After(all[0].SubmittedAt) {
+		t.Fatal("timestamps not monotone")
+	}
+}

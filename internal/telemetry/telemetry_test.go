@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/mlg/server"
+	"repro/internal/mlg/world"
+)
+
+func TestTable5Inventory(t *testing.T) {
+	rows := Table5()
+	if len(rows) != 9 {
+		t.Fatalf("Table 5 rows = %d, want 9", len(rows))
+	}
+	types := map[string]int{}
+	for _, r := range rows {
+		types[r.Type]++
+		if r.Name == "" || r.Description == "" {
+			t.Errorf("incomplete row: %+v", r)
+		}
+	}
+	if types["D"] != 1 || types["A"] != 3 || types["S"] != 5 {
+		t.Fatalf("type split = %v, want D:1 A:3 S:5", types)
+	}
+}
+
+func TestExternalizer(t *testing.T) {
+	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+	clock := env.NewVirtualClock(time.Unix(0, 0))
+	m := env.NewMachine(env.DAS5TwoCore, 7)
+	s := server.New(w, server.DefaultConfig(server.Vanilla), m, clock)
+	s.Connect("probe")
+	ex := NewExternalizer(s)
+	for i := 0; i < 40; i++ {
+		s.Tick()
+	}
+	if got := len(ex.TickTrace()); got != 40 {
+		t.Fatalf("trace length = %d", got)
+	}
+	msTrace := ex.TickTraceMS()
+	if len(msTrace) != 40 || msTrace[0] <= 0 {
+		t.Fatal("ms trace wrong")
+	}
+	if ex.OverloadedTicks() < 0 || ex.OverloadedTicks() > 40 {
+		t.Fatal("overloaded count out of range")
+	}
+	if isr := ex.ISR(2 * time.Second); isr < 0 || isr > 1 {
+		t.Fatalf("ISR out of range: %v", isr)
+	}
+	d := ex.Distribution()
+	if d.OtherUS <= 0 {
+		t.Fatal("no distribution data")
+	}
+}
+
+func TestSystemCollectorSamples(t *testing.T) {
+	c := NewSystemCollector()
+	// Burn a little CPU so utilization is measurable.
+	x := 0.0
+	for i := 0; i < 5_000_000; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	s := c.Sample(123, 456)
+	if s.HeapAllocBytes == 0 || s.SysBytes == 0 {
+		t.Error("memory stats missing")
+	}
+	if s.Goroutines <= 0 {
+		t.Error("goroutine count missing")
+	}
+	if s.NetSentBytes != 123 || s.NetRecvBytes != 456 {
+		t.Error("net counters not passed through")
+	}
+	if s.CPUPercent < 0 {
+		t.Error("negative CPU percent")
+	}
+	if got := len(c.Samples()); got != 1 {
+		t.Fatalf("samples = %d", got)
+	}
+	// On Linux, /proc readings should be present.
+	if s.Threads == 0 {
+		t.Log("threads unavailable (non-Linux?); fallback accepted")
+	}
+}
+
+func TestProcReaders(t *testing.T) {
+	// These must never panic and return non-negative values regardless of
+	// platform.
+	if d := processCPUTime(); d < 0 {
+		t.Error("negative CPU time")
+	}
+	if n := processThreads(); n < 0 {
+		t.Error("negative thread count")
+	}
+	r, w := processDiskIO()
+	if r < 0 || w < 0 {
+		t.Error("negative disk IO")
+	}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"repro/internal/mlg/server"
+	"repro/internal/mlg/world"
+)
+
+// Farm-world construction (Table 3). Each builder reconstructs the
+// behaviour of a popular community design: the entity farm spawns and
+// funnels mobs (gnembon's hostile mob farm), the stone farm generates
+// cobblestone from a water+lava junction and harvests it with a
+// clock-driven piston (Shulkercraft), the kelp farm grows kelp in a water
+// column and harvests it with an observer-triggered piston (Mumbo Jumbo),
+// and the item sorter is a hopper line absorbing drops (Mysticat).
+
+const farmY = 12 // construction level: one above the flat-world surface
+
+// installFarms builds the Table 3 inventory, scaled.
+func installFarms(s *server.Server, spec Spec) {
+	w := s.World()
+	w.EnsureArea(world.Pos{X: 8, Y: 0, Z: 8}, 5)
+
+	n := 0
+	place := func(build func(*world.World, world.Pos)) {
+		// Spiral the constructs around spawn on a 14-block grid, inside the
+		// players' view distance.
+		gx, gz := n%5, n/5
+		origin := world.Pos{X: -24 + gx*14, Y: farmY, Z: -24 + gz*14}
+		build(w, origin)
+		n++
+	}
+
+	for _, c := range Table3() {
+		for i := 0; i < c.Amount*spec.Scale; i++ {
+			switch c.Name {
+			case "Entity Farm":
+				place(buildEntityFarm)
+			case "Stone Farm":
+				place(buildStoneFarm)
+			case "Kelp Farm":
+				place(buildKelpFarm)
+			case "Item Sorter":
+				place(buildItemSorter)
+			}
+		}
+	}
+}
+
+// platform lays a stone slab under a construct.
+func platform(w *world.World, o world.Pos, sx, sz int) {
+	for dz := -1; dz < sz+1; dz++ {
+		for dx := -1; dx < sx+1; dx++ {
+			w.SetBlock(world.Pos{X: o.X + dx, Y: o.Y - 1, Z: o.Z + dz}, world.B(world.Stone))
+		}
+	}
+}
+
+// buildEntityFarm: a spawner block, water channels that push mobs and
+// drops, and a collection hopper. The spawner exercises dynamic spawn-point
+// computation; the mobs exercise pathfinding over the platform.
+func buildEntityFarm(w *world.World, o world.Pos) {
+	platform(w, o, 7, 7)
+	w.SetBlock(o.Add(3, 0, 3), world.B(world.Spawner))
+	// Water channels along two edges push entities toward the hopper corner.
+	for d := 0; d < 7; d++ {
+		w.SetBlock(o.Add(d, 0, 6), world.Block{ID: world.Water, Meta: uint8(1 + d%7)})
+		w.SetBlock(o.Add(6, 0, d), world.Block{ID: world.Water, Meta: uint8(1 + d%7)})
+	}
+	w.SetBlock(o.Add(6, -1, 6), world.B(world.Hopper))
+}
+
+// buildStoneFarm: water and lava meet over an air slot, forming
+// cobblestone; a 10-repeater clock (period ≈ 4 s, matching the paper's
+// "activated at a fixed interval of around 4 seconds") drives a piston that
+// breaks the cobblestone into the hopper below.
+func buildStoneFarm(w *world.World, o world.Pos) {
+	platform(w, o, 10, 6)
+	slot := o.Add(6, 0, 0)
+	w.SetBlock(slot.North(), world.B(world.Water))
+	w.SetBlock(slot.South(), world.B(world.Lava))
+	// Containment so the fluids do not spread across the platform.
+	for _, p := range []world.Pos{
+		slot.North().North(), slot.North().East(), slot.North().West(),
+		slot.South().South(), slot.South().East(), slot.South().West(),
+	} {
+		w.SetBlock(p, world.B(world.Glass))
+	}
+	w.SetBlock(slot.Down(), world.B(world.Hopper))
+	// Piston breaks the generated cobblestone.
+	w.SetBlock(slot.West(), world.B(world.Piston).WithFacing(world.DirEast))
+
+	// Clock: two rows of 5 repeaters at max delay in a loop = 10 × 8 game
+	// ticks = 4 s.
+	rowZ, retZ := o.Z+2, o.Z+3
+	x0 := o.X
+	for i := 0; i < 5; i++ {
+		w.SetBlock(world.Pos{X: x0 + i, Y: o.Y, Z: rowZ},
+			world.Block{ID: world.Repeater, Meta: 3}.WithFacing(world.DirEast)) // delay 4
+		w.SetBlock(world.Pos{X: x0 + 4 - i, Y: o.Y, Z: retZ},
+			world.Block{ID: world.Repeater, Meta: 3}.WithFacing(world.DirWest))
+	}
+	// Corner wires joining the rows.
+	w.SetBlock(world.Pos{X: x0 + 5, Y: o.Y, Z: rowZ}, world.B(world.RedstoneWire))
+	w.SetBlock(world.Pos{X: x0 + 5, Y: o.Y, Z: retZ}, world.B(world.RedstoneWire))
+	w.SetBlock(world.Pos{X: x0 - 1, Y: o.Y, Z: retZ}, world.B(world.RedstoneWire))
+	w.SetBlock(world.Pos{X: x0 - 1, Y: o.Y, Z: rowZ}, world.B(world.RedstoneWire))
+	// Tap: one wire from the corner toward the piston (which sits at
+	// x0+5, o.Z and picks up the wire's power from the adjacent cell).
+	w.SetBlock(world.Pos{X: x0 + 5, Y: o.Y, Z: o.Z + 1}, world.B(world.RedstoneWire))
+	// Kick the loop with one powered repeater.
+	w.SetBlock(world.Pos{X: x0, Y: o.Y, Z: rowZ},
+		world.Block{ID: world.Repeater, Meta: 3}.WithFacing(world.DirEast).WithRepeaterPowered(true))
+}
+
+// buildKelpFarm: a kelp stalk in a glass-enclosed water column; an observer
+// watches the growth cell and fires a piston that harvests the grown kelp
+// into a hopper under the stalk (event-based activation, §3.3.1).
+func buildKelpFarm(w *world.World, o world.Pos) {
+	platform(w, o, 5, 5)
+	base := o.Add(2, 0, 2)
+	w.SetBlock(base.Down(), world.B(world.Hopper))
+	w.SetBlock(base, world.Block{ID: world.Kelp, Meta: 0})
+	grow := base.Up()
+
+	// Water column: sources every level so harvested cells refill.
+	for dy := 1; dy <= 5; dy++ {
+		w.SetBlock(base.Add(0, dy, 0), world.B(world.Water))
+	}
+	// Glass containment around the column (skipping component positions).
+	obs := grow.South()   // observer south of the growth cell, watching north
+	piston := grow.East() // piston east of the growth cell, facing west into it
+	wireA := obs.South()  // observer output (back) cell
+	for dy := 0; dy <= 5; dy++ {
+		for _, hp := range base.Add(0, dy, 0).NeighborsHorizontal() {
+			if hp == obs || hp == piston {
+				continue
+			}
+			w.SetBlock(hp, world.B(world.Glass))
+		}
+	}
+	w.SetBlock(obs, world.B(world.Observer).WithFacing(world.DirNorth))
+	w.SetBlock(piston, world.B(world.Piston).WithFacing(world.DirWest))
+	// Wire from the observer's back around to the piston.
+	w.SetBlock(wireA, world.B(world.RedstoneWire))
+	w.SetBlock(wireA.East(), world.B(world.RedstoneWire))
+	w.SetBlock(piston.South(), world.B(world.RedstoneWire))
+}
+
+// buildItemSorter: a hopper line with chests — absorbs stray drops and adds
+// steady hopper tick load.
+func buildItemSorter(w *world.World, o world.Pos) {
+	platform(w, o, 8, 3)
+	for i := 0; i < 8; i++ {
+		w.SetBlock(o.Add(i, 0, 0), world.B(world.Hopper))
+		w.SetBlock(o.Add(i, 0, 1), world.B(world.Chest))
+	}
+	// A feeding water stream above the hopper line.
+	for i := 0; i < 8; i++ {
+		w.SetBlock(o.Add(i, 2, 0), world.Block{ID: world.Water, Meta: uint8(1 + i%7)})
+		w.SetBlock(o.Add(i, 1, 0), world.B(world.Glass))
+	}
+}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"repro/internal/mlg/server"
+	"repro/internal/mlg/world"
+)
+
+// Lag-machine construction (§3.3.1). The community design the paper uses
+// "operates based on terrain simulation rules ... it uses many logic-gate
+// constructs in a small area to cause a high volume of simulation rule
+// activations". Our reconstruction uses the same principle: an array of
+// rapid-pulser cells, each a pair of observers facing each other (every
+// pulse of one is a block change the other observes, so the pair
+// self-sustains), each fanning out into a redstone-wire mesh that must be
+// repowered and depowered on every pulse.
+//
+// Because logic components evaluate on redstone ticks (every second game
+// tick), the machine makes the game alternate between extremely heavy and
+// nearly idle ticks — the pattern that maximizes the Instability Ratio
+// (§5.3) and, on hardware-starved cloud nodes, starves client connections
+// until the game crashes.
+
+// lagCells is the number of pulser cells at scale 1, sized so heavy ticks
+// reach the low seconds on a 2-core reference node.
+const lagCells = 180
+
+// lagMeshSide is the side of each cell's wire mesh.
+const lagMeshSide = 10
+
+// installLagMachine builds the pulser-cell array.
+func installLagMachine(s *server.Server, spec Spec) {
+	w := s.World()
+	w.EnsureArea(world.Pos{X: 8, Y: 0, Z: 8}, 5)
+
+	cells := lagCells * spec.Scale
+	perRow := 8
+	for c := 0; c < cells; c++ {
+		ox := -64 + (c%perRow)*(lagMeshSide*2+6)
+		oz := -64 + (c/perRow)*(lagMeshSide+4)
+		buildLagCell(w, world.Pos{X: ox, Y: farmY, Z: oz})
+	}
+}
+
+// buildLagCell places one observer pair plus its fan-out meshes and kicks
+// it into oscillation.
+func buildLagCell(w *world.World, o world.Pos) {
+	platform(w, o, lagMeshSide*2+4, lagMeshSide)
+
+	a := o.Add(lagMeshSide+1, 0, lagMeshSide/2)
+	b := a.East()
+	// Wire meshes behind each observer's output (A outputs west, B east).
+	for dz := 0; dz < lagMeshSide; dz++ {
+		for dx := 0; dx < lagMeshSide; dx++ {
+			w.SetBlock(world.Pos{X: a.X - 1 - dx, Y: o.Y, Z: o.Z + dz}, world.B(world.RedstoneWire))
+			w.SetBlock(world.Pos{X: b.X + 1 + dx, Y: o.Y, Z: o.Z + dz}, world.B(world.RedstoneWire))
+		}
+	}
+	// Placement order is the kick: A is placed first, so placing B is a
+	// block change in the cell A watches — A pulses, B observes A's pulse,
+	// and the pair oscillates from there.
+	w.SetBlock(a, world.B(world.Observer).WithFacing(world.DirEast))
+	w.SetBlock(b, world.B(world.Observer).WithFacing(world.DirWest))
+}

@@ -1,0 +1,181 @@
+// Package workload builds the benchmark worlds of §3.3 (Table 2): Control
+// (fresh terrain), TNT (a 16×16×14 TNT cuboid set to explode ~20 s in),
+// Farm (the Table 3 resource-farm constructs), Lag (a lag machine of
+// logic-gate constructs), plus the player-based Players workload of §3.4.1
+// (25 bots moving randomly in a 32×32 area).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mlg/server"
+	"repro/internal/mlg/world"
+)
+
+// Kind identifies one benchmark workload.
+type Kind int
+
+// The five workloads of Figure 8.
+const (
+	Control Kind = iota
+	TNT
+	Farm
+	Lag
+	Players
+)
+
+// String returns the workload name as printed in the paper.
+func (k Kind) String() string {
+	switch k {
+	case Control:
+		return "Control"
+	case TNT:
+		return "TNT"
+	case Farm:
+		return "Farm"
+	case Lag:
+		return "Lag"
+	case Players:
+		return "Players"
+	default:
+		return fmt.Sprintf("workload(%d)", int(k))
+	}
+}
+
+// All returns every workload in Figure 8 order.
+func All() []Kind { return []Kind{Control, Farm, TNT, Lag, Players} }
+
+// ByName resolves a workload by name.
+func ByName(name string) (Kind, error) {
+	for _, k := range All() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown workload %q", name)
+}
+
+// Spec parameterizes a workload instance.
+type Spec struct {
+	Kind Kind
+	// Scale multiplies construct counts (the R8 workload-scaling knob;
+	// Table 4's "Scale", default 1).
+	Scale int
+	// Bots is the number of emulated players to connect.
+	Bots int
+	// BotsMove makes bots walk randomly in MoveArea (Players workload);
+	// idle bots only run the chat probe (environment-based workloads
+	// connect "a single player that performs no actions", §3.3.1).
+	BotsMove bool
+	// MoveArea is the side of the square bots move in (§3.4.1: 32).
+	MoveArea int
+	// IgniteAfterTicks delays TNT ignition (TNT workload; paper: ~20 s
+	// after a player connects = 400 ticks).
+	IgniteAfterTicks int
+}
+
+// DefaultSpec returns the paper's configuration for the workload.
+func (k Kind) DefaultSpec() Spec {
+	s := Spec{Kind: k, Scale: 1, Bots: 1, MoveArea: 32, IgniteAfterTicks: 400}
+	if k == Players {
+		s.Bots = 25
+		s.BotsMove = true
+	}
+	return s
+}
+
+// NewWorld creates the terrain world for the workload: realistic noise
+// terrain for Control and Players, a flat construction arena for the
+// construct worlds.
+func NewWorld(k Kind, seed int64) *world.World {
+	switch k {
+	case Control, Players:
+		return world.New(world.NewNoiseGenerator(seed))
+	default:
+		return world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+	}
+}
+
+// Install builds the workload's constructs into the server's world and
+// schedules its triggers. The server must be freshly created (tick 0).
+func Install(s *server.Server, spec Spec) error {
+	if spec.Scale < 1 {
+		spec.Scale = 1
+	}
+	switch spec.Kind {
+	case Control, Players:
+		// Fresh world: terrain generation happens lazily on player join.
+		return nil
+	case TNT:
+		installTNT(s, spec)
+		return nil // ignition is scheduled separately by Arm
+	case Farm:
+		installFarms(s, spec)
+		return nil
+	case Lag:
+		installLagMachine(s, spec)
+		return nil
+	default:
+		return fmt.Errorf("unknown workload kind %d", spec.Kind)
+	}
+}
+
+// installTNT builds the paper's TNT world: a 16-by-16-by-14 cuboid filled
+// with TNT blocks per scale step. Ignition is scheduled by Arm.
+func installTNT(s *server.Server, spec Spec) {
+	w := s.World()
+	for c := 0; c < spec.Scale; c++ {
+		ox, oz := tntOrigin(c)
+		w.EnsureArea(world.Pos{X: ox, Y: 0, Z: oz}, 2)
+		for y := 12; y < 12+14; y++ {
+			for z := oz; z < oz+16; z++ {
+				for x := ox; x < ox+16; x++ {
+					w.SetBlock(world.Pos{X: x, Y: y, Z: z}, world.B(world.TNT))
+				}
+			}
+		}
+	}
+}
+
+func tntOrigin(c int) (ox, oz int) {
+	return 20 + c*40, 20 // offset cuboids so they chain independently
+}
+
+// Arm schedules the workload's triggers relative to now. For the TNT world
+// this is the ignition "around 20 seconds after a player connects"
+// (§3.3.1); call it right after player emulation connects. Other workloads
+// need no arming.
+func Arm(s *server.Server, spec Spec) {
+	if spec.Kind != TNT {
+		return
+	}
+	if spec.Scale < 1 {
+		spec.Scale = 1
+	}
+	delay := spec.IgniteAfterTicks
+	if delay <= 0 {
+		delay = 400
+	}
+	for c := 0; c < spec.Scale; c++ {
+		ox, oz := tntOrigin(c)
+		s.Engine().ScheduleIgnite(world.Pos{X: ox + 8, Y: 18, Z: oz + 8}, delay)
+	}
+}
+
+// FarmConstruct is one row of Table 3.
+type FarmConstruct struct {
+	Name             string
+	Amount           int
+	Author           string
+	PopularityMViews float64
+}
+
+// Table3 returns the Farm-world construct inventory exactly as in Table 3.
+func Table3() []FarmConstruct {
+	return []FarmConstruct{
+		{Name: "Entity Farm", Amount: 12, Author: "gnembon", PopularityMViews: 1.7},
+		{Name: "Stone Farm", Amount: 4, Author: "Shulkercraft", PopularityMViews: 1.3},
+		{Name: "Kelp Farm", Amount: 4, Author: "Mumbo Jumbo", PopularityMViews: 2.5},
+		{Name: "Item Sorter", Amount: 1, Author: "Mysticat", PopularityMViews: 0.8},
+	}
+}
