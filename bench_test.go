@@ -10,6 +10,8 @@
 package main
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -207,6 +209,52 @@ func BenchmarkTab8EntityTraffic(b *testing.B) {
 	}
 	b.ReportMetric(msgPct, "entity_msgs_pct")
 	b.ReportMetric(bytePct, "entity_bytes_pct")
+}
+
+// --- Parallel orchestration benches ---
+
+// BenchmarkRunIterations contrasts the serial iteration loop against the
+// worker-pool scheduler on an 8-iteration Players grid (the MF3 shape).
+// On >= 4 cores the parallel variants complete the same grid with >= 2x
+// wall-clock speedup while producing bit-identical per-iteration results
+// (guarded by TestParallelMatchesSerial in internal/core).
+func BenchmarkRunIterations(b *testing.B) {
+	spec := benchSpec(workload.Players, server.Vanilla, env.DAS5TwoCore)
+	spec.Duration = 5 * time.Second
+	const n = 8
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.RunIterations(spec, n)
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			if runtime.NumCPU() < workers {
+				b.Logf("only %d CPUs; %d workers cannot show full speedup", runtime.NumCPU(), workers)
+			}
+			for i := 0; i < b.N; i++ {
+				core.RunIterationsParallel(spec, n, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkRunCache measures the memoized grid drain: the second GetAll of
+// an identical spec list is pure cache hits.
+func BenchmarkRunCache(b *testing.B) {
+	spec := benchSpec(workload.Control, server.Vanilla, env.DAS5TwoCore)
+	spec.Duration = 2 * time.Second
+	specs := make([]core.RunSpec, 16)
+	for i := range specs {
+		specs[i] = spec
+		specs[i].Iteration = i % 4 // 4 distinct runs, 12 duplicates
+	}
+	cache := core.NewRunCache()
+	cache.GetAll(specs, 0) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.GetAll(specs, 0)
+	}
 }
 
 // --- Ablation benches (DESIGN.md §5) ---

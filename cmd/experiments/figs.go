@@ -26,7 +26,7 @@ func fig1(c *ctx) (string, error) {
 	var rows [][]string
 	maxScale := 0.0
 	sums := map[string]metrics.Summary{}
-	for _, k := range []workload.Kind{workload.Control, workload.Farm} {
+	for _, k := range fig1Kinds {
 		s := metrics.Summarize(c.pooledResponses(server.Vanilla, k, env.AWSLarge))
 		sums[k.String()] = s
 		if s.P95 > maxScale {
@@ -102,8 +102,8 @@ func fig7(c *ctx) (string, error) {
 	}
 	var rowsOut []row
 	var csvRows [][]string
-	for _, k := range []workload.Kind{workload.Control, workload.Farm, workload.TNT} {
-		for _, f := range []server.Flavor{server.Vanilla, server.Forge} {
+	for _, k := range fig7Kinds {
+		for _, f := range fig7Flavors {
 			s := metrics.Summarize(c.pooledResponses(f, k, env.AWSLarge))
 			label := fmt.Sprintf("%s/%s", k, f.Name)
 			rowsOut = append(rowsOut, row{label, s})
@@ -135,8 +135,7 @@ func fig7(c *ctx) (string, error) {
 // AWS 2-core, DAS-5 2-core and DAS-5 16-core. The Lag workload crashes
 // every MLG on AWS, as in the paper.
 func fig8(c *ctx) (string, error) {
-	envs := []env.Profile{env.AWSLarge, env.DAS5TwoCore, env.DAS5SixteenCore}
-	kinds := []workload.Kind{workload.Control, workload.Farm, workload.TNT, workload.Lag, workload.Players}
+	envs, kinds := fig8Envs, fig8Kinds
 	var b strings.Builder
 	var csvRows [][]string
 	for _, p := range envs {
@@ -165,7 +164,7 @@ func fig8(c *ctx) (string, error) {
 // Control, Farm, TNT and Players. (Lag is omitted on AWS because every MLG
 // crashes, as in the paper.)
 func fig9(c *ctx) (string, error) {
-	kinds := []workload.Kind{workload.Control, workload.Farm, workload.TNT, workload.Players}
+	kinds := fig9Kinds
 	var b strings.Builder
 	for _, k := range kinds {
 		var csvRows [][]string
@@ -209,7 +208,7 @@ func fig9(c *ctx) (string, error) {
 // fig10 reproduces Figure 10 / MF3: distributions of tick time and ISR over
 // many iterations of the Players workload on DAS-5, Azure and AWS.
 func fig10(c *ctx) (string, error) {
-	envs := []env.Profile{env.DAS5TwoCore, env.AzureD2, env.AWSLarge}
+	envs := fig10Envs
 	var b strings.Builder
 	var csvRows [][]string
 	type agg struct {
@@ -266,7 +265,7 @@ func fig10(c *ctx) (string, error) {
 // fig11 reproduces Figure 11 / MF4: the share of tick time attributed to
 // each operation category on AWS.
 func fig11(c *ctx) (string, error) {
-	kinds := []workload.Kind{workload.TNT, workload.Farm, workload.Control}
+	kinds := fig11Kinds
 	glyphs := []rune{'A', 'U', 'E', 'b', 'a', 'o'} // add/rm, update, entities, waitBefore, waitAfter, other
 	var b strings.Builder
 	b.WriteString("legend: A=block add/remove U=block update E=entities b=wait-before a=wait-after o=other\n")

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -12,36 +11,35 @@ import (
 
 // ctx carries experiment parameters and a cross-experiment run cache:
 // several artifacts (Figures 7, 9, 11, Table 8) are different views of the
-// same benchmark grid, so identical runs execute once.
+// same benchmark grid, so identical runs execute once. The cache is
+// core.RunCache, keyed on the full RunSpec and safe for the parallel
+// prewarm in main.
 type ctx struct {
 	out        string
 	duration   time.Duration
 	iterations int
 	fig10Iters int
-	cache      map[string]cached
+	workers    int
+	cache      *core.RunCache
 }
 
-type cached struct {
-	res core.RunResult
-}
-
-// run executes (or recalls) one benchmark run.
-func (c *ctx) run(f server.Flavor, k workload.Kind, p env.Profile, iter int) core.RunResult {
-	key := fmt.Sprintf("%s|%s|%s|%d|%v", f.Name, k, p.Name, iter, c.duration)
-	if hit, ok := c.cache[key]; ok {
-		return hit.res
-	}
-	spec := core.RunSpec{
+// spec builds the canonical RunSpec for one grid cell. Seeds hash the
+// flavor name (FNV-1a) so flavors with equal-length names do not share a
+// seed, mixed with the workload kind.
+func (c *ctx) spec(f server.Flavor, k workload.Kind, p env.Profile, iter int) core.RunSpec {
+	return core.RunSpec{
 		Flavor:    f,
 		Workload:  k.DefaultSpec(),
 		Env:       p,
 		Duration:  c.duration,
 		Iteration: iter,
-		Seed:      int64(len(f.Name))*131 + int64(k)*17,
+		Seed:      core.FlavorSeed(f.Name) + int64(k)*17,
 	}
-	res := core.Run(spec)
-	c.cache[key] = cached{res: res}
-	return res
+}
+
+// run executes (or recalls) one benchmark run.
+func (c *ctx) run(f server.Flavor, k workload.Kind, p env.Profile, iter int) core.RunResult {
+	return c.cache.Get(c.spec(f, k, p, iter))
 }
 
 // pooledResponses pools response-time samples over the configured
@@ -52,4 +50,79 @@ func (c *ctx) pooledResponses(f server.Flavor, k workload.Kind, p env.Profile) [
 		all = append(all, c.run(f, k, p, it).ResponseMS...)
 	}
 	return all
+}
+
+// --- Per-experiment grids ---
+//
+// Each experiment declares the spec list it will consume, so main can hand
+// the whole figure/table grid to one parallel scheduler before the
+// (serial, formatting-only) experiment bodies execute against a warm cache.
+// The flavor/kind/env lists below are the single source of truth for both
+// the grid declarations and the experiment bodies in figs.go/tabs.go — a
+// cell added to a body automatically joins the parallel prewarm.
+
+var (
+	fig1Kinds   = []workload.Kind{workload.Control, workload.Farm}
+	fig7Flavors = []server.Flavor{server.Vanilla, server.Forge}
+	fig7Kinds   = []workload.Kind{workload.Control, workload.Farm, workload.TNT}
+	fig8Envs    = []env.Profile{env.AWSLarge, env.DAS5TwoCore, env.DAS5SixteenCore}
+	fig8Kinds   = []workload.Kind{workload.Control, workload.Farm, workload.TNT, workload.Lag, workload.Players}
+	fig9Kinds   = []workload.Kind{workload.Control, workload.Farm, workload.TNT, workload.Players}
+	fig10Envs   = []env.Profile{env.DAS5TwoCore, env.AzureD2, env.AWSLarge}
+	fig11Kinds  = []workload.Kind{workload.TNT, workload.Farm, workload.Control}
+	tab8Kinds   = []workload.Kind{workload.Control, workload.Farm, workload.TNT}
+)
+
+func (c *ctx) cross(flavors []server.Flavor, kinds []workload.Kind, envs []env.Profile, iters int) []core.RunSpec {
+	var specs []core.RunSpec
+	for _, p := range envs {
+		for _, k := range kinds {
+			for _, f := range flavors {
+				for it := 0; it < iters; it++ {
+					specs = append(specs, c.spec(f, k, p, it))
+				}
+			}
+		}
+	}
+	return specs
+}
+
+func fig1Grid(c *ctx) []core.RunSpec {
+	return c.cross([]server.Flavor{server.Vanilla}, fig1Kinds,
+		[]env.Profile{env.AWSLarge}, c.iterations)
+}
+
+func fig7Grid(c *ctx) []core.RunSpec {
+	return c.cross(fig7Flavors, fig7Kinds,
+		[]env.Profile{env.AWSLarge}, c.iterations)
+}
+
+func fig8Grid(c *ctx) []core.RunSpec {
+	return c.cross(server.Flavors(), fig8Kinds, fig8Envs, 1)
+}
+
+func fig9Grid(c *ctx) []core.RunSpec {
+	return c.cross(server.Flavors(), fig9Kinds,
+		[]env.Profile{env.AWSLarge}, 1)
+}
+
+func fig10Grid(c *ctx) []core.RunSpec {
+	return c.cross(server.Flavors(),
+		[]workload.Kind{workload.Players}, fig10Envs, c.fig10Iters)
+}
+
+func fig11Grid(c *ctx) []core.RunSpec {
+	return c.cross(server.Flavors(), fig11Kinds,
+		[]env.Profile{env.AWSLarge}, 1)
+}
+
+func fig12Grid(c *ctx) []core.RunSpec {
+	return c.cross(server.Flavors(),
+		[]workload.Kind{workload.TNT},
+		env.NodeSizes(), 1)
+}
+
+func tab8Grid(c *ctx) []core.RunSpec {
+	return c.cross(server.Flavors(), tab8Kinds,
+		[]env.Profile{env.AWSLarge}, 1)
 }

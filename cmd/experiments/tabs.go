@@ -129,7 +129,7 @@ func tab7(c *ctx) (string, error) {
 func tab8(c *ctx) (string, error) {
 	var rows [][]string
 	for _, f := range server.Flavors() {
-		for _, k := range []workload.Kind{workload.Control, workload.Farm, workload.TNT} {
+		for _, k := range tab8Kinds {
 			r := c.run(f, k, env.AWSLarge, 0)
 			var msgPct, bytePct float64
 			if r.Net.Msgs > 0 {

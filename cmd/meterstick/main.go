@@ -8,9 +8,13 @@
 //	meterstick [-servers Minecraft,Forge,PaperMC] [-world Control]
 //	           [-env DAS5-2core] [-bots 25] [-behavior bounded-random]
 //	           [-duration 60s] [-iterations 1] [-scale 1] [-out results]
+//	           [-parallel N]
 //
 // The run executes on the virtual-time engine, so a 60-second iteration
 // completes in a fraction of wall time and is fully reproducible.
+// -parallel drains the (server, iteration) grid across N workers
+// (default GOMAXPROCS; 1 executes serially); every run is hermetic, so
+// results are identical at any worker count.
 package main
 
 import (
@@ -39,6 +43,7 @@ func main() {
 	flag.IntVar(&cfg.Iterations, "iterations", cfg.Iterations, "iteration count")
 	flag.IntVar(&cfg.Scale, "scale", cfg.Scale, "workload intensity multiplier")
 	flag.StringVar(&cfg.OutputDir, "out", cfg.OutputDir, "output directory for per-run CSVs")
+	parallel := flag.Int("parallel", 0, "run scheduler workers (0 = GOMAXPROCS, 1 = serial)")
 	listEnvs := flag.Bool("list-envs", false, "list environment profiles and exit")
 	flag.Parse()
 
@@ -63,8 +68,7 @@ func main() {
 	}
 
 	var rows [][]string
-	for _, spec := range specs {
-		res := core.Run(spec)
+	for _, res := range core.RunParallel(specs, *parallel) {
 		printRun(res, cfg.Duration)
 		rows = append(rows, []string{
 			res.Flavor, res.Workload, res.Environment, fmt.Sprint(res.Iteration),

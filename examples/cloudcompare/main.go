@@ -31,23 +31,35 @@ func main() {
 		isr         metrics.Summary
 		tick        metrics.Summary
 	}
-	var rows []rowT
+	// The whole flavor x environment x iteration grid is one spec list that
+	// a single scheduler drains across GOMAXPROCS workers; runs are
+	// hermetic, so the ranking is identical to the old serial loop, just
+	// many times sooner.
+	var specs []core.RunSpec
 	for _, f := range server.Flavors() {
 		for _, p := range envs {
-			spec := core.RunSpec{
-				Flavor:   f,
-				Workload: workload.Players.DefaultSpec(),
-				Env:      p,
-				Duration: 30 * time.Second,
-				Seed:     7,
+			for it := 0; it < iterations; it++ {
+				specs = append(specs, core.RunSpec{
+					Flavor:    f,
+					Workload:  workload.Players.DefaultSpec(),
+					Env:       p,
+					Duration:  30 * time.Second,
+					Iteration: it,
+					Seed:      7,
+				})
 			}
-			results := core.RunIterations(spec, iterations)
-			rows = append(rows, rowT{
-				flavor: f.Name, env: p.Name,
-				isr:  metrics.Summarize(core.ISRs(results)),
-				tick: metrics.Summarize(core.MeanTicks(results)),
-			})
 		}
+	}
+	results := core.RunParallel(specs, 0)
+
+	var rows []rowT
+	for i := 0; i < len(results); i += iterations {
+		cell := results[i : i+iterations]
+		rows = append(rows, rowT{
+			flavor: cell[0].Flavor, env: cell[0].Environment,
+			isr:  metrics.Summarize(core.ISRs(cell)),
+			tick: metrics.Summarize(core.MeanTicks(cell)),
+		})
 	}
 
 	var table [][]string

@@ -1,9 +1,10 @@
 // Lagmachine: watch a denial-of-service construct take a game server down.
 //
-// This example drives the MLG engine directly (no benchmark harness): it
-// builds the Lag workload's logic-gate construct array, connects one player,
+// This example runs the Lag workload's logic-gate construct array through
+// the benchmark harness on two deployment environments at once — both
+// deployments are one spec list that core.RunParallel drains concurrently —
 // and prints the tick-by-tick alternation between near-idle and multi-second
-// ticks — the pattern that maximizes the Instability Ratio and, on a starved
+// ticks: the pattern that maximizes the Instability Ratio and, on a starved
 // cloud node, starves client connections until the server crashes.
 //
 //	go run ./examples/lagmachine
@@ -13,66 +14,52 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/env"
-	"repro/internal/metrics"
 	"repro/internal/mlg/server"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
 
 func main() {
-	run := func(profile env.Profile) {
-		fmt.Printf("--- %s ---\n", profile.Name)
-		w := workload.NewWorld(workload.Lag, 1)
-		clock := env.NewVirtualClock(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC))
-		machine := env.NewMachine(profile, 3)
-		cfg := server.DefaultConfig(server.Vanilla)
-		cfg.ClientTimeout = profile.ConnTimeout
-		s := server.New(w, cfg, machine, clock)
-		if err := workload.Install(s, workload.Lag.DefaultSpec()); err != nil {
-			panic(err)
-		}
-
-		// Let the construct's start-up cascade settle, then connect a player
-		// (crash semantics require connected clients).
-		for i := 0; i < 60; i++ {
-			s.Tick()
-		}
-		s.ResetStats()
-		s.Connect("victim")
-
-		for i := 0; i < 40; i++ {
-			rec := s.Tick()
-			marker := ""
-			if rec.Dur > server.TickBudget {
-				marker = " OVERLOADED"
-			}
-			if i < 10 || rec.Crashed {
-				fmt.Printf("  tick %3d: %8.1f ms%s\n",
-					rec.Tick, float64(rec.Dur)/float64(time.Millisecond), marker)
-			}
-			if rec.Crashed {
-				_, reason := s.Crashed()
-				fmt.Printf("  SERVER CRASHED: %s\n\n", reason)
-				return
-			}
-		}
-		trace := s.TickDurations()
-		// Ne derives from the elapsed wall time (overloaded ticks stretch it).
-		var elapsed time.Duration
-		for _, d := range trace {
-			if d < server.TickBudget {
-				d = server.TickBudget
-			}
-			elapsed += d
-		}
-		isr := metrics.ISRTrace(trace, elapsed)
-		fmt.Printf("  survived; ISR=%.3f  trace: %s\n\n",
-			isr, report.Sparkline(metrics.DurationsToMS(trace), 48))
+	profiles := []env.Profile{
+		env.DAS5TwoCore, // survives with extreme but stable alternation
+		env.AWSLarge,    // burstable credits run out; clients time out; crash
 	}
+	specs := make([]core.RunSpec, len(profiles))
+	for i, p := range profiles {
+		specs[i] = core.RunSpec{
+			Flavor:   server.Vanilla,
+			Workload: workload.Lag.DefaultSpec(),
+			Env:      p,
+			Duration: 10 * time.Second,
+			Seed:     3,
+		}
+	}
+
+	// One scheduler, both deployments; results come back in spec order and
+	// a crashing run is a result, not a dead process.
+	results := core.RunParallel(specs, 0)
 
 	fmt.Println("The same lag machine, two deployments:")
 	fmt.Println()
-	run(env.DAS5TwoCore) // survives with extreme but stable alternation
-	run(env.AWSLarge)    // burstable credits run out; clients time out; crash
+	for i, res := range results {
+		fmt.Printf("--- %s ---\n", profiles[i].Name)
+		for t, pt := range res.Series {
+			if t >= 10 {
+				break
+			}
+			marker := ""
+			if pt.DurMS > float64(server.TickBudget)/float64(time.Millisecond) {
+				marker = " OVERLOADED"
+			}
+			fmt.Printf("  tick %3d: %8.1f ms%s\n", t+1, pt.DurMS, marker)
+		}
+		if res.Crashed {
+			fmt.Printf("  SERVER CRASHED: %s\n\n", res.CrashReason)
+			continue
+		}
+		fmt.Printf("  survived; ISR=%.3f  trace: %s\n\n",
+			res.ISR, report.Sparkline(res.TickMS, 48))
+	}
 }

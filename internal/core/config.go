@@ -6,12 +6,23 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"repro/internal/env"
 	"repro/internal/mlg/server"
 	"repro/internal/workload"
 )
+
+// FlavorSeed derives a run seed from the flavor name via FNV-1a. Seeding
+// from len(name) gave flavors with equal-length names identical seeds and
+// therefore correlated runs; hashing the name keeps seeds deterministic but
+// distinct per flavor.
+func FlavorSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
 
 // Config is Meterstick's user-facing configuration: one field per Table 4
 // parameter. Fields that configure real remote deployments (IPs, SSL keys,
@@ -132,7 +143,7 @@ func (c Config) Specs() ([]RunSpec, error) {
 				Env:       profile,
 				Duration:  c.Duration,
 				Iteration: it,
-				Seed:      int64(1000*it) + int64(len(name)),
+				Seed:      int64(1000*it) + FlavorSeed(name),
 			})
 		}
 	}

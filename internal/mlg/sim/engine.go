@@ -16,6 +16,7 @@ package sim
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/mlg/world"
 )
@@ -134,10 +135,15 @@ type Engine struct {
 	redstonePending []scheduledUpdate
 	// scheduled maps future tick numbers to their due updates.
 	scheduled map[int64][]scheduledUpdate
-	// spawners tracks spawner block positions for periodic activation.
-	spawners map[world.Pos]struct{}
-	// hoppers tracks hopper positions for item collection.
-	hoppers map[world.Pos]struct{}
+	// spawners tracks spawner block positions for periodic activation;
+	// hoppers tracks hopper positions for item collection. The sorted
+	// views are cached (invalidated on mutation in trackSpecial) because
+	// both sets are walked every redstone tick but change only on block
+	// add/remove.
+	spawners       map[world.Pos]struct{}
+	hoppers        map[world.Pos]struct{}
+	spawnersSorted []world.Pos
+	hoppersSorted  []world.Pos
 	// wireSeen tracks per-tick wire recomputations when RedstoneBatch is
 	// on: value = tick<<2 | count, allowing up to two evaluations per wire
 	// per tick (the optimizer removes *redundant* re-walks, it cannot make
@@ -186,12 +192,24 @@ func (e *Engine) onBlockChange(p world.Pos, old, new world.Block) {
 func (e *Engine) trackSpecial(p world.Pos, b world.Block) {
 	switch b.ID {
 	case world.Spawner:
-		e.spawners[p] = struct{}{}
+		if _, ok := e.spawners[p]; !ok {
+			e.spawners[p] = struct{}{}
+			e.spawnersSorted = nil
+		}
 	case world.Hopper:
-		e.hoppers[p] = struct{}{}
+		if _, ok := e.hoppers[p]; !ok {
+			e.hoppers[p] = struct{}{}
+			e.hoppersSorted = nil
+		}
 	default:
-		delete(e.spawners, p)
-		delete(e.hoppers, p)
+		if _, ok := e.spawners[p]; ok {
+			delete(e.spawners, p)
+			e.spawnersSorted = nil
+		}
+		if _, ok := e.hoppers[p]; ok {
+			delete(e.hoppers, p)
+			e.hoppersSorted = nil
+		}
 	}
 }
 
@@ -360,7 +378,7 @@ func (e *Engine) tickSpawners() {
 	if interval <= 0 {
 		interval = 40
 	}
-	for p := range e.spawners {
+	for _, p := range e.sortedSpawners() {
 		// Offset by position hash so spawners do not fire in lockstep. The
 		// offset is kept even-aligned because this method only runs on
 		// redstone ticks.
@@ -379,11 +397,47 @@ func (e *Engine) tickSpawners() {
 // tickHoppers makes hoppers absorb item entities above them (every redstone
 // tick, approximating the 4-game-tick hopper cooldown).
 func (e *Engine) tickHoppers() {
-	for p := range e.hoppers {
+	for _, p := range e.sortedHoppers() {
 		e.counters.BlockUpdates++
 		n := e.ents.CollectItems(p.Up(), 1.2)
 		e.ItemsCollected += int64(n)
 	}
+}
+
+// sortedSpawners and sortedHoppers return the sets in a fixed order: spawn
+// and collection order feed the entity store's RNG and IDs, so map
+// iteration order would make otherwise-identical runs diverge. The sorted
+// views are rebuilt only after a mutation.
+func (e *Engine) sortedSpawners() []world.Pos {
+	if e.spawnersSorted == nil {
+		e.spawnersSorted = sortedPositions(e.spawners)
+	}
+	return e.spawnersSorted
+}
+
+func (e *Engine) sortedHoppers() []world.Pos {
+	if e.hoppersSorted == nil {
+		e.hoppersSorted = sortedPositions(e.hoppers)
+	}
+	return e.hoppersSorted
+}
+
+func sortedPositions(set map[world.Pos]struct{}) []world.Pos {
+	out := make([]world.Pos, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		if a.Z != b.Z {
+			return a.Z < b.Z
+		}
+		return a.X < b.X
+	})
+	return out
 }
 
 // randomTicks samples RandomTickRate random blocks per loaded chunk and
