@@ -1,0 +1,85 @@
+package core
+
+// Golden-determinism suite: one short fixed-seed run per workload, with a
+// committed FNV-1a checksum over the full RunResult. Any change that alters
+// simulation output in any way — entity iteration order, RNG consumption,
+// query visit order, cost accounting, message fan-out — fails here, so perf
+// refactors (like the entity spatial index) can prove they are behaviour-
+// preserving, and intentional behaviour changes must update the table
+// explicitly in the same commit.
+//
+// The checksum covers everything a run produces (the %+v rendering of
+// RunResult has no maps, so it is deterministic): tick traces, summaries,
+// ISR, response times, network totals, Figure 11 categories, and end state.
+// Combined with TestParallelMatchesSerial, a stable checksum means serial
+// and parallel runs are byte-identical at any worker count.
+//
+// If this test fails after an intentional simulation change, run
+//
+//	go test ./internal/core -run TestGoldenChecksums -v
+//
+// and copy the printed checksums into goldenChecksums below.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/mlg/server"
+	"repro/internal/workload"
+)
+
+// hashRunResult returns the FNV-1a checksum of the full run result.
+func hashRunResult(r RunResult) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", r)
+	return h.Sum64()
+}
+
+// goldenSpec is the fixed configuration each workload is hashed under: the
+// reference self-hosted environment (deterministic machine model), Vanilla
+// flavor, 2 virtual seconds, fixed seed.
+func goldenSpec(k workload.Kind) RunSpec {
+	return RunSpec{
+		Flavor:   server.Vanilla,
+		Workload: k.DefaultSpec(),
+		Env:      env.DAS5TwoCore,
+		Duration: 2 * time.Second,
+		Seed:     1234,
+	}
+}
+
+// goldenChecksums pins the simulation output per workload. Update only for
+// intentional behaviour changes, in the same commit that changes behaviour.
+var goldenChecksums = map[workload.Kind]uint64{
+	workload.Control: 0x52a0da17930a6fcb,
+	workload.Farm:    0x8fb90bbd9dd2211b,
+	workload.TNT:     0xc5d8a8a79b85f80c,
+	workload.Lag:     0x633f5fda084a148b,
+	workload.Players: 0x88f204c0e04584c3,
+}
+
+func TestGoldenChecksums(t *testing.T) {
+	for _, k := range workload.All() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			got := hashRunResult(Run(goldenSpec(k)))
+			if want := goldenChecksums[k]; got != want {
+				t.Errorf("%v checksum = %#016x, want %#016x\n"+
+					"simulation output changed; if intentional, update goldenChecksums",
+					k, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenChecksumStability: hashing the same run twice in one process
+// must agree — guards the hash itself against nondeterministic rendering.
+func TestGoldenChecksumStability(t *testing.T) {
+	spec := goldenSpec(workload.Control)
+	if a, b := hashRunResult(Run(spec)), hashRunResult(Run(spec)); a != b {
+		t.Fatalf("identical runs hash differently: %#x vs %#x", a, b)
+	}
+}

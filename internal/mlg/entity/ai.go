@@ -18,7 +18,7 @@ func (ew *World) tickItem(e *Entity) {
 }
 
 // tickMob runs one AI + physics step for a mob.
-func (ew *World) tickMob(e *Entity, players []Vec3) {
+func (ew *World) tickMob(e *Entity) {
 	// Invalidate the path if terrain changed beneath it.
 	if e.HasPath() && ew.pathStale(e) {
 		e.path = nil
@@ -29,7 +29,7 @@ func (ew *World) tickMob(e *Entity, players []Vec3) {
 		if e.wanderCooldown > 0 {
 			e.wanderCooldown--
 		} else {
-			ew.choosePath(e, players)
+			ew.choosePath(e)
 		}
 	}
 
@@ -50,20 +50,17 @@ func (ew *World) pathStale(e *Entity) bool {
 	return false
 }
 
-// choosePath picks a goal (nearest player within 16 blocks, else a random
-// point within 8) and runs A* toward it.
-func (ew *World) choosePath(e *Entity, players []Vec3) {
+// choosePath picks a goal (a player within 16 blocks, else a random point
+// within 8) and runs A* toward it. Target finding queries the tick's player
+// grid: only buckets around the mob are visited, and the lowest-index match
+// is chosen — the same player a first-match linear scan would pick.
+func (ew *World) choosePath(e *Entity) {
 	start := e.Pos.BlockPos()
 	var goal world.Pos
-	found := false
-	for _, p := range players {
-		if e.Pos.Dist(p) <= 16 {
-			goal = p.BlockPos()
-			found = true
-			break
-		}
-	}
-	if !found {
+	target, found := ew.grid.firstWithin(e.Pos, 16)
+	if found {
+		goal = target.BlockPos()
+	} else {
 		goal = world.Pos{
 			X: start.X + ew.rng.Intn(17) - 8,
 			Y: start.Y,
@@ -219,7 +216,7 @@ func (ew *World) walkableNeighbors(p world.Pos) []world.Pos {
 				break
 			}
 			// Cannot pass through a solid at this level going down.
-			if b, ok := ew.w.BlockIfLoaded(q); ok && b.IsSolid() {
+			if b, ok := ew.wc.BlockIfLoaded(q); ok && b.IsSolid() {
 				break
 			}
 		}
@@ -230,12 +227,12 @@ func (ew *World) walkableNeighbors(p world.Pos) []world.Pos {
 // standable reports whether a mob can occupy p: solid floor below, feet and
 // head clear.
 func (ew *World) standable(p world.Pos) bool {
-	below, ok := ew.w.BlockIfLoaded(p.Down())
+	below, ok := ew.wc.BlockIfLoaded(p.Down())
 	if !ok || !below.IsSolid() {
 		return false
 	}
-	feet, _ := ew.w.BlockIfLoaded(p)
-	head, _ := ew.w.BlockIfLoaded(p.Up())
+	feet, _ := ew.wc.BlockIfLoaded(p)
+	head, _ := ew.wc.BlockIfLoaded(p.Up())
 	return !feet.IsSolid() && !head.IsSolid()
 }
 
@@ -260,15 +257,9 @@ func (ew *World) naturalSpawns(players []Vec3) {
 		if !ew.standable(bp) {
 			continue
 		}
-		// Too close to a player: skip (Minecraft enforces 24 blocks).
-		tooClose := false
-		for _, p := range players {
-			if Center(bp).Dist(p) < 24 {
-				tooClose = true
-				break
-			}
-		}
-		if tooClose {
+		// Too close to a player: skip (Minecraft enforces 24 blocks). The
+		// player grid visits only the buckets around the candidate.
+		if ew.grid.anyStrictlyWithin(Center(bp), 24) {
 			continue
 		}
 		ew.SpawnMob(bp)

@@ -105,6 +105,14 @@ type Entity struct {
 	pathVersions map[world.ChunkPos]uint64
 	// wanderCooldown ticks down between AI decisions.
 	wanderCooldown int
+
+	// chunk is the spatial-index bucket currently holding the entity,
+	// maintained by the store as the entity moves.
+	chunk world.ChunkPos
+	// activeTick is the last tick the activation-range sweep found a player
+	// near this entity; entities not marked in the current tick are
+	// throttled (the inverted PaperMC activation check).
+	activeTick int64
 }
 
 // HasPath reports whether the mob is currently following a path.

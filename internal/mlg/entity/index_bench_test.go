@@ -1,0 +1,68 @@
+package entity
+
+// Micro-benchmarks of the entity proximity queries the spatial index serves:
+// hopper intake (CollectItems) and blast impulses (ApplyExplosionImpulse) at
+// 500 and 3000 live entities. Pre-index, both were O(all entities) per call;
+// with the chunk-bucketed index they scale with local density only.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mlg/world"
+)
+
+// benchEntityWorld spreads n entities of the given kind uniformly over a
+// 96x96-block area (6x6 chunks), so any fixed-radius query touches only a
+// small fraction of the population.
+func benchEntityWorld(b *testing.B, n int, kind Type) *World {
+	b.Helper()
+	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+	cfg := DefaultConfig()
+	cfg.NaturalSpawning = false
+	cfg.MaxEntities = n + 10
+	cfg.MaxMobs = n + 10
+	ew := NewWorld(w, cfg, 1)
+	w.EnsureArea(world.Pos{X: 48, Y: 0, Z: 48}, 5)
+	for i := 0; i < n; i++ {
+		p := world.Pos{X: (i * 5) % 96, Y: 12, Z: ((i * 5) / 96 * 5) % 96}
+		switch kind {
+		case Item:
+			ew.SpawnItem(p, world.Gravel)
+		case Mob:
+			ew.SpawnMob(p)
+		}
+	}
+	if ew.Count() != n {
+		b.Fatalf("spawned %d entities, want %d", ew.Count(), n)
+	}
+	return ew
+}
+
+func BenchmarkCollectItems(b *testing.B) {
+	for _, n := range []int{500, 3000} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			ew := benchEntityWorld(b, n, Item)
+			center := world.Pos{X: 48, Y: 12, Z: 48}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ew.CollectItems(center, 1.2)
+			}
+		})
+	}
+}
+
+func BenchmarkExplosionImpulse(b *testing.B) {
+	for _, n := range []int{500, 3000} {
+		b.Run(fmt.Sprintf("entities=%d", n), func(b *testing.B) {
+			// Mobs: knocked back but never destroyed, so the population is
+			// stable across iterations.
+			ew := benchEntityWorld(b, n, Mob)
+			center := world.Pos{X: 48, Y: 12, Z: 48}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ew.ApplyExplosionImpulse(center, 5)
+			}
+		})
+	}
+}

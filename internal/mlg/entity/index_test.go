@@ -1,0 +1,251 @@
+package entity
+
+// Tests for the chunk-bucketed spatial index: structural invariants against
+// the flat entity list, query equivalence against brute-force scans, the
+// inverted activation-range check against the direct per-entity scan it
+// replaced, and the per-chunk update stream the server's interest sets
+// consume.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/mlg/world"
+)
+
+// checkIndexInvariants verifies the index is exactly the live entity list,
+// rebucketed: every entity sits in the bucket of its cached chunk, the
+// cached chunk matches its position, and buckets are ID-sorted.
+func checkIndexInvariants(t *testing.T, ew *World) {
+	t.Helper()
+	total := 0
+	for cp, bucket := range ew.index.buckets {
+		if len(bucket) == 0 {
+			t.Fatalf("empty bucket left behind at %v", cp)
+		}
+		for i, e := range bucket {
+			total++
+			if e.chunk != cp {
+				t.Fatalf("entity %d cached chunk %v but bucketed at %v", e.ID, e.chunk, cp)
+			}
+			if !e.Dead {
+				if want := world.ChunkPosAt(e.Pos.BlockPos()); want != cp {
+					t.Fatalf("entity %d at %v belongs to chunk %v, bucketed at %v", e.ID, e.Pos, want, cp)
+				}
+			}
+			if i > 0 && bucket[i-1].ID >= e.ID {
+				t.Fatalf("bucket %v not strictly ID-sorted", cp)
+			}
+		}
+	}
+	if total != len(ew.list) {
+		t.Fatalf("index holds %d entities, list holds %d", total, len(ew.list))
+	}
+}
+
+// TestSpatialIndexTracksSimulation runs a mixed population (mobs wandering,
+// items falling, TNT exploding) and checks the index invariants as entities
+// spawn, cross chunk borders, and die.
+func TestSpatialIndexTracksSimulation(t *testing.T) {
+	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+	cfg := DefaultConfig()
+	cfg.NaturalSpawning = true
+	cfg.SpawnAttemptsPerTick = 5
+	ew := NewWorld(w, cfg, 9)
+	w.EnsureArea(world.Pos{X: 0, Y: 0, Z: 0}, 6)
+	for i := 0; i < 12; i++ {
+		ew.SpawnMob(world.Pos{X: i * 9, Y: 11, Z: i * 5})
+		ew.SpawnItem(world.Pos{X: i * 7, Y: 20, Z: i * 11}, world.Dirt)
+	}
+	ew.SpawnPrimedTNT(world.Pos{X: 20, Y: 11, Z: 20}, 30)
+	players := []Vec3{{X: 10, Y: 11, Z: 10}, {X: 60, Y: 11, Z: 60}}
+	for tick := 0; tick < 200; tick++ {
+		ew.Tick(players)
+		ew.DrainExplosions()
+		checkIndexInvariants(t, ew)
+	}
+	if ew.Count() == 0 {
+		t.Fatal("population died out; test exercised nothing")
+	}
+}
+
+// TestForEachNearMatchesBruteForce: the indexed bounding-square visit plus
+// an exact distance predicate must select exactly the entities a full list
+// scan selects, for random query spheres.
+func TestForEachNearMatchesBruteForce(t *testing.T) {
+	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+	cfg := DefaultConfig()
+	cfg.NaturalSpawning = false
+	ew := NewWorld(w, cfg, 3)
+	w.EnsureArea(world.Pos{X: 40, Y: 0, Z: 40}, 6)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 400; i++ {
+		ew.SpawnItem(world.Pos{X: rng.Intn(96) - 8, Y: 8 + rng.Intn(20), Z: rng.Intn(96) - 8}, world.Dirt)
+	}
+	for trial := 0; trial < 50; trial++ {
+		center := Vec3{X: rng.Float64()*100 - 10, Y: 10 + rng.Float64()*10, Z: rng.Float64()*100 - 10}
+		radius := 1 + rng.Float64()*20
+
+		var got []int64
+		ew.forEachNear(center, radius, func(e *Entity) {
+			if e.Pos.Dist(center) <= radius {
+				got = append(got, e.ID)
+			}
+		})
+		var want []int64
+		for _, e := range ew.list {
+			if e.Pos.Dist(center) <= radius {
+				want = append(want, e.ID)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: indexed query found %d entities, brute force %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: indexed query IDs %v != brute force %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestThrottledMatchesDirectScan: the inverted activation check (mark
+// player-near buckets, test the stamp) must skip exactly the entities the
+// original per-entity player scan skipped.
+func TestThrottledMatchesDirectScan(t *testing.T) {
+	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+	cfg := DefaultConfig()
+	cfg.NaturalSpawning = false
+	cfg.ActivationRange = 32
+	ew := NewWorld(w, cfg, 5)
+	w.EnsureArea(world.Pos{X: 60, Y: 0, Z: 60}, 9)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 120; i++ {
+		ew.SpawnMob(world.Pos{X: rng.Intn(140), Y: 11, Z: rng.Intn(140)})
+	}
+	ew.SpawnPrimedTNT(world.Pos{X: 130, Y: 11, Z: 130}, 10_000) // TNT is never throttled
+	players := []Vec3{{X: 20, Y: 11, Z: 20}, {X: 100, Y: 11, Z: 100}}
+
+	r := float64(cfg.ActivationRange)
+	for tick := 0; tick < 100; tick++ {
+		// Expected skips from the direct O(entities x players) predicate,
+		// evaluated on pre-tick state exactly as the old code did: Age is
+		// incremented before the check, positions are pre-move.
+		want := 0
+		for _, e := range ew.list {
+			if e.Dead || e.Kind == PrimedTNT {
+				continue
+			}
+			near := false
+			for _, p := range players {
+				if e.Pos.Dist(p) <= r {
+					near = true
+					break
+				}
+			}
+			if !near && (e.Age+1+int(e.ID))%4 != 0 {
+				want++
+			}
+		}
+		c := ew.Tick(players)
+		if c.InactiveSkips != want {
+			t.Fatalf("tick %d: InactiveSkips = %d, direct scan predicts %d", tick, c.InactiveSkips, want)
+		}
+	}
+}
+
+// TestDrainChunkUpdates: spawns, cross-chunk moves and despawns must appear
+// under the right chunk, sorted, and draining must clear the accumulator.
+func TestDrainChunkUpdates(t *testing.T) {
+	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+	cfg := DefaultConfig()
+	cfg.NaturalSpawning = false
+	ew := NewWorld(w, cfg, 7)
+	w.EnsureArea(world.Pos{X: 0, Y: 0, Z: 0}, 8)
+
+	farChunk := world.ChunkPosAt(world.Pos{X: 100, Z: 100})
+	ew.SpawnItem(world.Pos{X: 100, Y: 12, Z: 100}, world.Dirt)
+	ups := ew.DrainChunkUpdates()
+	if len(ups) != 1 || ups[0].Pos != farChunk || ups[0].Spawned != 1 {
+		t.Fatalf("spawn updates = %+v, want one Spawned in %v", ups, farChunk)
+	}
+	if again := ew.DrainChunkUpdates(); again != nil {
+		t.Fatalf("drain did not clear: %+v", again)
+	}
+
+	// The item falls to the ground within a few ticks, changing block
+	// position inside its chunk.
+	moved := 0
+	for i := 0; i < 20; i++ {
+		ew.Tick(nil)
+		for _, u := range ew.DrainChunkUpdates() {
+			if u.Pos != farChunk {
+				t.Fatalf("update outside the item's chunk: %+v", u)
+			}
+			moved += u.Moved
+		}
+	}
+	if moved == 0 {
+		t.Fatal("falling item produced no Moved updates")
+	}
+
+	// Kill it: the despawn lands in the chunk clients last saw it in.
+	n := ew.CollectItems(world.Pos{X: 100, Y: 11, Z: 100}, 3)
+	if n != 1 {
+		t.Fatalf("collected %d items, want 1", n)
+	}
+	ew.Tick(nil)
+	ups = ew.DrainChunkUpdates()
+	if len(ups) != 1 || ups[0].Pos != farChunk || ups[0].Despawned != 1 {
+		t.Fatalf("despawn updates = %+v, want one Despawned in %v", ups, farChunk)
+	}
+
+	// Sorted (Z, X) order over multiple chunks.
+	ew.SpawnItem(world.Pos{X: 40, Y: 12, Z: 90}, world.Dirt)
+	ew.SpawnItem(world.Pos{X: -20, Y: 12, Z: -20}, world.Dirt)
+	ew.SpawnItem(world.Pos{X: 90, Y: 12, Z: 40}, world.Dirt)
+	ups = ew.DrainChunkUpdates()
+	if len(ups) != 3 {
+		t.Fatalf("got %d chunk entries, want 3", len(ups))
+	}
+	for i := 1; i < len(ups); i++ {
+		a, b := ups[i-1].Pos, ups[i].Pos
+		if a.Z > b.Z || (a.Z == b.Z && a.X >= b.X) {
+			t.Fatalf("updates not in (Z, X) order: %+v", ups)
+		}
+	}
+}
+
+// TestItemCellsPurgedOnDeath: merge cells pointing at dead items must be
+// cleaned by compact, not linger until overwritten.
+func TestItemCellsPurgedOnDeath(t *testing.T) {
+	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+	cfg := DefaultConfig()
+	cfg.NaturalSpawning = false
+	cfg.ItemMergeCells = 2
+	ew := NewWorld(w, cfg, 11)
+	w.EnsureArea(world.Pos{X: 0, Y: 0, Z: 0}, 2)
+
+	ew.SpawnItem(world.Pos{X: 4, Y: 12, Z: 4}, world.Dirt)
+	if len(ew.itemCells) != 1 {
+		t.Fatalf("itemCells = %d, want 1", len(ew.itemCells))
+	}
+	// Merging into the live cell spawns nothing.
+	ew.SpawnItem(world.Pos{X: 4, Y: 12, Z: 4}, world.Dirt)
+	if ew.Count() != 1 {
+		t.Fatalf("merge created an extra entity: %d", ew.Count())
+	}
+
+	ew.CollectItems(world.Pos{X: 4, Y: 12, Z: 4}, 3)
+	ew.Tick(nil) // compact removes the dead item and purges its cell
+	if len(ew.itemCells) != 0 {
+		t.Fatalf("stale itemCells after compact: %d entries", len(ew.itemCells))
+	}
+	// A new drop in the same cell spawns a fresh entity.
+	ew.SpawnItem(world.Pos{X: 4, Y: 12, Z: 4}, world.Dirt)
+	if ew.Count() != 1 {
+		t.Fatalf("respawn in purged cell failed: %d entities", ew.Count())
+	}
+}

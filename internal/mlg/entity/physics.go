@@ -19,7 +19,7 @@ func (ew *World) stepPhysics(e *Entity) {
 	// Fluid interaction: buoyancy plus the stream push farms use to carry
 	// item drops toward hoppers.
 	feet := e.Pos.BlockPos()
-	if b, ok := ew.w.BlockIfLoaded(feet); ok && b.IsFluid() {
+	if b, ok := ew.wc.BlockIfLoaded(feet); ok && b.IsFluid() {
 		e.Vel.Y += buoyancy
 		if e.Vel.Y > 0.1 {
 			e.Vel.Y = 0.1
@@ -96,10 +96,10 @@ func (ew *World) moveAxis(e *Entity, cur, delta float64, ax axis) float64 {
 func (ew *World) collides(pos Vec3) bool {
 	feet := pos.BlockPos()
 	head := feet.Up()
-	if b, ok := ew.w.BlockIfLoaded(feet); ok && b.IsSolid() {
+	if b, ok := ew.wc.BlockIfLoaded(feet); ok && b.IsSolid() {
 		return true
 	}
-	if b, ok := ew.w.BlockIfLoaded(head); ok && b.IsSolid() {
+	if b, ok := ew.wc.BlockIfLoaded(head); ok && b.IsSolid() {
 		return true
 	}
 	return false
@@ -113,7 +113,7 @@ func (ew *World) flowDirection(p world.Pos, b world.Block) Vec3 {
 	var dir Vec3
 	best := level
 	for _, n := range p.NeighborsHorizontal() {
-		nb, ok := ew.w.BlockIfLoaded(n)
+		nb, ok := ew.wc.BlockIfLoaded(n)
 		if !ok {
 			continue
 		}
@@ -122,7 +122,7 @@ func (ew *World) flowDirection(p world.Pos, b world.Block) Vec3 {
 			best = int(nb.Meta)
 			dir = Vec3{X: float64(n.X - p.X), Z: float64(n.Z - p.Z)}
 		} else if nb.IsAir() {
-			if below, ok2 := ew.w.BlockIfLoaded(n.Down()); ok2 && (below.IsAir() || below.IsFluid()) {
+			if below, ok2 := ew.wc.BlockIfLoaded(n.Down()); ok2 && (below.IsAir() || below.IsFluid()) {
 				dir = Vec3{X: float64(n.X - p.X), Z: float64(n.Z - p.Z)}
 				best = 99
 			}

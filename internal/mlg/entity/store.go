@@ -79,7 +79,11 @@ type Counters struct {
 // World is the entity store and simulator for one game world. It implements
 // sim.EntityOps so terrain rules can spawn and consume entities.
 type World struct {
-	w   *world.World
+	w *world.World
+	// wc caches chunk pointers for the entity world's block reads (physics
+	// probes, walkability checks), skipping the world lock on same-chunk
+	// access. Single-goroutine, like the rest of the store.
+	wc  world.ChunkCache
 	rng *rand.Rand
 	cfg Config
 
@@ -87,6 +91,17 @@ type World struct {
 	byID   map[int64]*Entity
 	nextID int64
 	mobs   int
+
+	// index buckets live entities by chunk column for proximity queries;
+	// tickNum stamps activation marks; grid is the current tick's
+	// player-position bucket view.
+	index   *spatialIndex
+	tickNum int64
+	grid    playerGrid
+
+	// chunkUpdates accumulates per-chunk entity state-update counts for the
+	// server's interest-managed dissemination (drained every tick).
+	chunkUpdates map[world.ChunkPos]ChunkUpdates
 
 	// chunkVersion tracks terrain mutations per chunk for path invalidation.
 	chunkVersion map[world.ChunkPos]uint64
@@ -108,9 +123,12 @@ type World struct {
 func NewWorld(w *world.World, cfg Config, seed int64) *World {
 	ew := &World{
 		w:            w,
+		wc:           world.NewChunkCache(w),
 		rng:          rand.New(rand.NewSource(seed)),
 		cfg:          cfg,
 		byID:         make(map[int64]*Entity),
+		index:        newSpatialIndex(),
+		chunkUpdates: make(map[world.ChunkPos]ChunkUpdates),
 		chunkVersion: make(map[world.ChunkPos]uint64),
 		itemCells:    make(map[world.Pos]int64),
 	}
@@ -152,6 +170,9 @@ func (ew *World) add(e *Entity) *Entity {
 	e.ID = ew.nextID
 	ew.list = append(ew.list, e)
 	ew.byID[e.ID] = e
+	e.chunk = world.ChunkPosAt(e.Pos.BlockPos())
+	ew.index.add(e)
+	ew.noteSpawned(e.chunk)
 	if e.Kind == Mob {
 		ew.mobs++
 	}
@@ -201,16 +222,17 @@ func (ew *World) SpawnMob(p world.Pos) {
 	ew.add(&Entity{Kind: Mob, Pos: Center(p)})
 }
 
-// CollectItems implements sim.EntityOps: hopper intake.
+// CollectItems implements sim.EntityOps: hopper intake. The spatial index
+// restricts the scan to the chunk columns intersecting the intake radius.
 func (ew *World) CollectItems(p world.Pos, radius float64) int {
 	center := Center(p)
 	n := 0
-	for _, e := range ew.list {
+	ew.forEachNear(center, radius, func(e *Entity) {
 		if e.Kind == Item && !e.Dead && e.Pos.Dist(center) <= radius {
 			e.Dead = true
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -227,18 +249,18 @@ func (ew *World) DrainExplosions() []world.Pos {
 // is knocked away. This is the entity-collision side of the TNT workload.
 func (ew *World) ApplyExplosionImpulse(center world.Pos, radius float64) {
 	c := Center(center)
-	for _, e := range ew.list {
+	ew.forEachNear(c, radius, func(e *Entity) {
 		if e.Dead {
-			continue
+			return
 		}
 		d := e.Pos.Dist(c)
 		if d > radius {
-			continue
+			return
 		}
 		ew.counters.Collisions++
 		if e.Kind == Item && d < radius/2 {
 			e.Dead = true
-			continue
+			return
 		}
 		if d < 0.01 {
 			d = 0.01
@@ -246,7 +268,7 @@ func (ew *World) ApplyExplosionImpulse(center world.Pos, radius float64) {
 		strength := (radius - d) / radius
 		dir := e.Pos.Sub(c).Scale(1 / d)
 		e.Vel = e.Vel.Add(dir.Scale(strength)).Add(Vec3{Y: 0.3 * strength})
-	}
+	})
 }
 
 // Tick advances every entity one game tick. players gives current player
@@ -257,12 +279,16 @@ func (ew *World) Tick(players []Vec3) Counters {
 	// (which runs before the entity phase within a server tick) must be
 	// attributed to this tick. They are taken and reset at the end.
 
+	ew.tickNum++
+	ew.grid = newPlayerGrid(players)
+	ew.markActive(players)
+
 	for _, e := range ew.list {
 		if e.Dead {
 			continue
 		}
 		e.Age++
-		if ew.throttled(e, players) {
+		if ew.throttled(e) {
 			ew.counters.InactiveSkips++
 			continue
 		}
@@ -270,7 +296,7 @@ func (ew *World) Tick(players []Vec3) Counters {
 		switch e.Kind {
 		case Mob:
 			ew.counters.MobTicks++
-			ew.tickMob(e, players)
+			ew.tickMob(e)
 		case Item:
 			ew.counters.ItemTicks++
 			ew.tickItem(e)
@@ -283,8 +309,14 @@ func (ew *World) Tick(players []Vec3) Counters {
 				ew.explosionsDue = append(ew.explosionsDue, e.Pos.BlockPos())
 			}
 		}
-		if !e.Dead && e.Pos.BlockPos() != before {
-			ew.counters.Moved++
+		if !e.Dead {
+			if after := e.Pos.BlockPos(); after != before {
+				ew.counters.Moved++
+				if nc := world.ChunkPosAt(after); nc != e.chunk {
+					ew.index.move(e, nc)
+				}
+				ew.noteMoved(e.chunk)
+			}
 		}
 	}
 
@@ -297,17 +329,34 @@ func (ew *World) Tick(players []Vec3) Counters {
 	return out
 }
 
-// throttled implements the PaperMC activation-range optimization: entities
-// far from every player tick once in four.
-func (ew *World) throttled(e *Entity, players []Vec3) bool {
-	if ew.cfg.ActivationRange <= 0 || e.Kind == PrimedTNT {
-		return false
+// markActive stamps every entity within activation range of a player with
+// the current tick: the inverted PaperMC activation-range check. Instead of
+// scanning all players for every entity (O(entities x players)), each
+// player's sweep visits only its nearby buckets; throttled then tests the
+// stamp in O(1). Positions are pre-move for every entity, exactly as the
+// per-entity scan saw them.
+func (ew *World) markActive(players []Vec3) {
+	if ew.cfg.ActivationRange <= 0 {
+		return
 	}
 	r := float64(ew.cfg.ActivationRange)
 	for _, p := range players {
-		if e.Pos.Dist(p) <= r {
-			return false
-		}
+		ew.forEachNear(p, r, func(e *Entity) {
+			if e.activeTick != ew.tickNum && e.Pos.Dist(p) <= r {
+				e.activeTick = ew.tickNum
+			}
+		})
+	}
+}
+
+// throttled implements the PaperMC activation-range optimization: entities
+// far from every player tick once in four.
+func (ew *World) throttled(e *Entity) bool {
+	if ew.cfg.ActivationRange <= 0 || e.Kind == PrimedTNT {
+		return false
+	}
+	if e.activeTick == ew.tickNum {
+		return false
 	}
 	// The 1-in-4 schedule is phase-shifted per entity so throttled mobs do
 	// not bunch onto the same tick.
@@ -334,6 +383,8 @@ func (ew *World) compact() {
 		}
 		if e.Dead {
 			delete(ew.byID, e.ID)
+			ew.index.remove(e)
+			ew.noteDespawned(e.chunk)
 			if e.Kind == Mob {
 				ew.mobs--
 			}
@@ -343,7 +394,20 @@ func (ew *World) compact() {
 		live = append(live, e)
 	}
 	ew.list = live
+	ew.purgeItemCells()
 	for _, p := range drops {
 		ew.SpawnItem(p, world.Gravel) // stand-in mob loot
+	}
+}
+
+// purgeItemCells drops merge-cell entries whose item entity has died or
+// expired. Without this, cells pointing at dead items linger until a new
+// drop overwrites them, which under TNT storms leaks a map entry per crater
+// cell for the life of the run.
+func (ew *World) purgeItemCells() {
+	for cell, id := range ew.itemCells {
+		if e := ew.byID[id]; e == nil || e.Dead || e.Kind != Item {
+			delete(ew.itemCells, cell)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"time"
 
 	"repro/internal/mlg/entity"
@@ -152,8 +153,9 @@ func (s *Server) serializeChunk(cp world.ChunkPos) []byte {
 }
 
 // sendReal materializes this tick's updates for socket-backed players.
-// Entity updates are capped per tick per player, like production servers'
-// broadcast budgets.
+// Entity updates are interest-filtered (only entities inside the player's
+// chunk view area are sent) and capped per tick per player, like production
+// servers' broadcast budgets.
 func (s *Server) sendReal(players []*Player, bc []protocol.BlockChange, counts *tickCounts) {
 	const entityCap = 400
 	var hasReal bool
@@ -167,22 +169,25 @@ func (s *Server) sendReal(players []*Player, bc []protocol.BlockChange, counts *
 		return
 	}
 
-	// Snapshot entity positions once (cap applies to the broadcast budget).
+	// Snapshot entity positions (and their chunk, for the interest filter).
 	type entPos struct {
 		id      int64
+		chunk   world.ChunkPos
 		x, y, z float64
 	}
 	var ents []entPos
 	s.ents.Entities(func(e *entity.Entity) {
-		if len(ents) < entityCap {
-			ents = append(ents, entPos{id: e.ID, x: e.Pos.X, y: e.Pos.Y, z: e.Pos.Z})
-		}
+		ents = append(ents, entPos{
+			id: e.ID, chunk: world.ChunkPosAt(e.Pos.BlockPos()),
+			x: e.Pos.X, y: e.Pos.Y, z: e.Pos.Z,
+		})
 	})
 
 	// Chats processed this tick fan out to everyone.
 	s.mu.Lock()
 	tick := s.tick
 	s.mu.Unlock()
+	vd := int32(s.cfg.ViewDistance)
 
 	for _, p := range players {
 		if p.conn == nil {
@@ -193,13 +198,40 @@ func (s *Server) sendReal(players []*Player, bc []protocol.BlockChange, counts *
 				break
 			}
 		}
+		pc := world.ChunkPosAt(p.Pos.BlockPos())
+		seen := make(map[int64]struct{}, len(p.tracked))
+		sent := 0
 		for _, en := range ents {
+			if sent >= entityCap {
+				break
+			}
+			if !chunkWithinView(en.chunk, pc, vd) {
+				continue
+			}
 			if _, err := p.conn.WritePacket(&protocol.EntityMove{
 				EntityID: int32(en.id), X: en.x, Y: en.y, Z: en.z,
 			}); err != nil {
 				break
 			}
+			seen[en.id] = struct{}{}
+			sent++
 		}
+		// Untrack: entities streamed last tick but no longer in this
+		// player's interest area (moved out of view, or despawned) are
+		// destroyed client-side, in ID order.
+		var gone []int64
+		for id := range p.tracked {
+			if _, ok := seen[id]; !ok {
+				gone = append(gone, id)
+			}
+		}
+		sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
+		for _, id := range gone {
+			if _, err := p.conn.WritePacket(&protocol.DestroyEntity{EntityID: int32(id)}); err != nil {
+				break
+			}
+		}
+		p.tracked = seen
 		p.conn.WritePacket(&protocol.TimeUpdate{Tick: tick})
 	}
 }

@@ -55,6 +55,10 @@ type Player struct {
 	conn *protocol.Conn
 	// sendQueue counts chunks owed to this player from its join burst.
 	pendingChunks []world.ChunkPos
+	// tracked holds the entity IDs last streamed to a real connection, so
+	// entities leaving the player's interest area get a destroy packet
+	// instead of freezing at their last in-view position.
+	tracked map[int64]struct{}
 }
 
 // inbound is one queued client message (the paper's incoming networking
@@ -490,6 +494,20 @@ func (s *Server) Tick() TickRecord {
 	return rec
 }
 
+// chunkWithinView reports whether chunk c lies inside the square view area
+// of radius vd (in chunks) around a player standing in chunk pc — the
+// interest predicate shared by dissemination accounting and real sends.
+func chunkWithinView(c, pc world.ChunkPos, vd int32) bool {
+	dx, dz := c.X-pc.X, c.Z-pc.Z
+	if dx < 0 {
+		dx = -dx
+	}
+	if dz < 0 {
+		dz = -dz
+	}
+	return dx <= vd && dz <= vd
+}
+
 // playerPositions snapshots player positions for the entity phase.
 func (s *Server) playerPositions() []entity.Vec3 {
 	s.mu.Lock()
@@ -610,11 +628,32 @@ func (s *Server) disseminate(counts *tickCounts) {
 	// distance in all benchmark worlds).
 	addMsgs(len(bc)*nPlayers, s.sizes.blockChange, false)
 
-	// Entity updates: delta-encoded movements, spawns, removals.
-	ec := counts.ent
-	addMsgs(ec.Moved*nPlayers, s.sizes.entityMoveRel, true)
-	addMsgs(ec.Spawns*nPlayers, s.sizes.spawn, true)
-	addMsgs(ec.Despawns*nPlayers, s.sizes.destroy, true)
+	// Entity updates: delta-encoded movements, spawns, removals, fanned out
+	// through per-player interest sets derived from the chunk grid — a
+	// chunk's updates reach only the players whose view distance covers it,
+	// not every connected player.
+	if updates := s.ents.DrainChunkUpdates(); len(updates) > 0 {
+		playerChunks := make([]world.ChunkPos, nPlayers)
+		for i, p := range players {
+			playerChunks[i] = world.ChunkPosAt(p.Pos.BlockPos())
+		}
+		vd := int32(s.cfg.ViewDistance)
+		var moved, spawned, despawned int
+		for _, u := range updates {
+			interested := 0
+			for _, pc := range playerChunks {
+				if chunkWithinView(u.Pos, pc, vd) {
+					interested++
+				}
+			}
+			moved += u.Moved * interested
+			spawned += u.Spawned * interested
+			despawned += u.Despawned * interested
+		}
+		addMsgs(moved, s.sizes.entityMoveRel, true)
+		addMsgs(spawned, s.sizes.spawn, true)
+		addMsgs(despawned, s.sizes.destroy, true)
+	}
 
 	// Chat fan-out.
 	addMsgs(counts.chats*nPlayers, s.sizes.chat, false)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/env"
+	"repro/internal/mlg/entity"
 	"repro/internal/mlg/world"
 	"repro/internal/protocol"
 )
@@ -432,6 +433,62 @@ func TestRealTCPSession(t *testing.T) {
 	}
 }
 
+// TestRealSessionUntracksOutOfViewEntities: when a TCP player's view no
+// longer covers an entity's chunk, the server must send a destroy for it
+// rather than silently stopping its movement stream (which would leave a
+// stale ghost on the client).
+func TestRealSessionUntracksOutOfViewEntities(t *testing.T) {
+	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+	s := New(w, DefaultConfig(Vanilla), nil, env.RealClock{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer func() { s.Stop(); ln.Close() }()
+
+	conn, err := protocol.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.WritePacket(&protocol.Handshake{Version: protocol.ProtocolVersion})
+	conn.WritePacket(&protocol.Login{Name: "ghost-bot"})
+	if _, _, err := conn.ReadPacket(); err != nil { // LoginSuccess
+		t.Fatal(err)
+	}
+
+	s.EntityWorld().SpawnMob(world.Pos{X: 10, Y: 11, Z: 10})
+	var mobID int32
+	s.EntityWorld().Entities(func(e *entity.Entity) { mobID = int32(e.ID) })
+	s.Tick() // streams the in-view mob
+
+	// Teleport far outside view distance; the next tick must untrack.
+	sent := time.Now()
+	conn.WritePacket(&protocol.PlayerMove{X: 500.5, Y: 11, Z: 500.5})
+	go func() {
+		for i := 0; i < 20; i++ {
+			s.Tick()
+		}
+	}()
+
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatalf("no DestroyEntity for out-of-view mob %d after %v", mobID, time.Since(sent))
+		default:
+		}
+		pkt, _, err := conn.ReadPacket()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if d, ok := pkt.(*protocol.DestroyEntity); ok && d.EntityID == mobID {
+			return // untracked, as required
+		}
+	}
+}
+
 func TestHandshakeRejection(t *testing.T) {
 	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
 	s := New(w, DefaultConfig(Vanilla), nil, env.RealClock{})
@@ -454,6 +511,64 @@ func TestHandshakeRejection(t *testing.T) {
 	}
 	if _, ok := pkt.(*protocol.Disconnect); !ok {
 		t.Fatalf("expected Disconnect, got %T", pkt)
+	}
+}
+
+func TestChunkWithinView(t *testing.T) {
+	pc := world.ChunkPos{X: 3, Z: -2}
+	cases := []struct {
+		c    world.ChunkPos
+		vd   int32
+		want bool
+	}{
+		{world.ChunkPos{X: 3, Z: -2}, 5, true},
+		{world.ChunkPos{X: 8, Z: 3}, 5, true},   // corner of the view square
+		{world.ChunkPos{X: 9, Z: -2}, 5, false}, // one past the edge
+		{world.ChunkPos{X: -2, Z: -7}, 5, true},
+		{world.ChunkPos{X: 3, Z: 4}, 5, false},
+		{world.ChunkPos{X: 3, Z: -2}, 0, true},
+	}
+	for _, tc := range cases {
+		if got := chunkWithinView(tc.c, pc, tc.vd); got != tc.want {
+			t.Errorf("chunkWithinView(%v, %v, %d) = %v, want %v", tc.c, pc, tc.vd, got, tc.want)
+		}
+	}
+}
+
+// TestInterestManagedEntityBroadcast: entity state updates from chunks
+// outside every player's view distance must not be accounted as outbound
+// messages. Two identical servers differ only in where their mob herd
+// lives: on a platform right next to the single player, or far outside
+// their view. The world is void (no ambient spawning is possible), so the
+// far run must produce exactly zero entity traffic.
+func TestInterestManagedEntityBroadcast(t *testing.T) {
+	run := func(mobBase int) int64 {
+		w := world.New(nil) // void: no ground, no ambient spawns
+		s := New(w, DefaultConfig(Vanilla), env.NewMachine(env.DAS5TwoCore, 7), testClock())
+		s.Connect("alice")
+		s.Tick() // absorb the join burst
+		// A platform for the herd to wander on.
+		for x := 0; x < 16; x++ {
+			for z := 0; z < 16; z++ {
+				w.SetBlock(world.Pos{X: mobBase + x, Y: 10, Z: mobBase + z}, world.B(world.Stone))
+			}
+		}
+		for i := 0; i < 20; i++ {
+			s.EntityWorld().SpawnMob(world.Pos{X: mobBase + 5 + i%5, Y: 11, Z: mobBase + 5 + i/5})
+		}
+		before := s.NetTotals().EntityMsgs
+		for i := 0; i < 60; i++ {
+			s.Tick()
+		}
+		return s.NetTotals().EntityMsgs - before
+	}
+	near := run(24)  // chunks 1-2: inside view distance 5 of the spawn chunk
+	far := run(2000) // chunk 125+: far outside
+	if near == 0 {
+		t.Fatal("near herd produced no entity messages")
+	}
+	if far != 0 {
+		t.Fatalf("far herd leaked %d entity messages past the interest sets", far)
 	}
 }
 

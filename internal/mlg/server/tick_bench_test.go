@@ -1,0 +1,141 @@
+package server_test
+
+// Per-workload tick benchmarks: the regression harness for engine-level
+// optimizations. Each sub-benchmark builds one of the paper's workload
+// scenarios at production entity/player scale, then measures a fixed window
+// of game ticks through the storm, so ns/op tracks the real per-tick compute
+// cost of that workload. Setup runs off the timer; every iteration gets a
+// fresh, deterministic server.
+//
+// These run in CI with -benchtime=1x as a smoke test; locally, use e.g.
+//
+//	go test -bench=BenchmarkTick -benchtime=3x ./internal/mlg/server
+//
+// to compare before/after an engine change.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/mlg/entity"
+	"repro/internal/mlg/server"
+	"repro/internal/mlg/world"
+	"repro/internal/workload"
+)
+
+// measuredTicks is the per-iteration measurement window: long enough to
+// cover a redstone period, spawner period and several explosion waves.
+const measuredTicks = 60
+
+func benchClock() *env.VirtualClock {
+	return env.NewVirtualClock(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC))
+}
+
+func newBenchServer(f server.Flavor, w *world.World) *server.Server {
+	m := env.NewMachine(env.DAS5SixteenCore, 1)
+	cfg := server.DefaultConfig(f)
+	return server.New(w, cfg, m, benchClock())
+}
+
+// setupWorkload installs a paper workload, connects players and warms the
+// world until its constructs settle.
+func setupWorkload(b *testing.B, k workload.Kind, f server.Flavor, players, warmTicks int) *server.Server {
+	b.Helper()
+	s := newBenchServer(f, workload.NewWorld(k, world.PaperControlSeed))
+	spec := k.DefaultSpec()
+	if err := workload.Install(s, spec); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < players; i++ {
+		s.Connect("bench")
+	}
+	for i := 0; i < warmTicks; i++ {
+		s.Tick()
+	}
+	return s
+}
+
+// setupTNTStorm ignites the TNT cuboid and advances into the chain reaction
+// so the measured window covers peak entity population.
+func setupTNTStorm(b *testing.B) *server.Server {
+	b.Helper()
+	s := newBenchServer(server.Vanilla, workload.NewWorld(workload.TNT, world.PaperControlSeed))
+	spec := workload.TNT.DefaultSpec()
+	spec.IgniteAfterTicks = 2
+	if err := workload.Install(s, spec); err != nil {
+		b.Fatal(err)
+	}
+	s.Connect("bench")
+	workload.Arm(s, spec)
+	// Run into the cascade until the entity population is at paper scale.
+	for i := 0; i < 400 && s.EntityWorld().Count() < 1500; i++ {
+		s.Tick()
+	}
+	return s
+}
+
+// setupPlayers builds the §3.4.1 player-based workload scaled to production
+// counts: 200 players clustered on a 320x320 region of a 640x640 noise map
+// whose entity population is spread across the whole map, as natural
+// spawning leaves it — most entities are outside every player's activation
+// range. Paper flavor, so the activation-range path is on the hot path.
+func setupPlayers(b *testing.B) *server.Server {
+	b.Helper()
+	w := workload.NewWorld(workload.Players, world.PaperControlSeed)
+	s := newBenchServer(server.Paper, w)
+	w.EnsureArea(world.Pos{X: 320, Y: 0, Z: 320}, 21)
+	const nPlayers = 200
+	for i := 0; i < nPlayers; i++ {
+		p := s.Connect("bench")
+		px := float64(160 + (i%15)*21)
+		pz := float64(160 + (i/15)*21)
+		p.Pos = entity.Vec3{X: px, Y: float64(w.HighestSolidY(int(px), int(pz)) + 1), Z: pz}
+	}
+	// A paper-scale entity population scattered across the full map.
+	ew := s.EntityWorld()
+	for i := 0; i < 2900; i++ {
+		x, z := 4+(i%90)*7, 4+(i/90)*7
+		ew.SpawnItem(world.Pos{X: x, Y: w.HighestSolidY(x, z) + 1, Z: z}, world.Gravel)
+	}
+	for i := 0; i < 20; i++ {
+		s.Tick()
+	}
+	return s
+}
+
+// BenchmarkTick measures one game tick per workload at paper scale.
+func BenchmarkTick(b *testing.B) {
+	scenarios := []struct {
+		name  string
+		setup func(b *testing.B) *server.Server
+	}{
+		{"Control", func(b *testing.B) *server.Server {
+			return setupWorkload(b, workload.Control, server.Vanilla, 1, 20)
+		}},
+		{"Farm", func(b *testing.B) *server.Server {
+			return setupWorkload(b, workload.Farm, server.Vanilla, 5, 300)
+		}},
+		{"TNT", setupTNTStorm},
+		{"Lag", func(b *testing.B) *server.Server {
+			return setupWorkload(b, workload.Lag, server.Vanilla, 1, 100)
+		}},
+		{"Players", setupPlayers},
+	}
+	for _, sc := range scenarios {
+		b.Run(sc.name, func(b *testing.B) {
+			var entities, players int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := sc.setup(b)
+				entities, players = s.EntityWorld().Count(), s.PlayerCount()
+				b.StartTimer()
+				for t := 0; t < measuredTicks; t++ {
+					s.Tick()
+				}
+			}
+			b.ReportMetric(float64(entities), "entities")
+			b.ReportMetric(float64(players), "players")
+		})
+	}
+}

@@ -122,7 +122,11 @@ type scheduledUpdate struct {
 
 // Engine is the terrain-simulation state machine for one world.
 type Engine struct {
-	w    *world.World
+	w *world.World
+	// wc is the engine's chunk-pointer cache: rule application, explosion
+	// scans and queue routing read blocks through it so repeated same-chunk
+	// access skips the world lock and chunk-map hash.
+	wc   world.ChunkCache
 	ents EntityOps
 	rng  *rand.Rand
 	cfg  Config
@@ -165,6 +169,7 @@ type Engine struct {
 func New(w *world.World, ents EntityOps, cfg Config, seed int64) *Engine {
 	e := &Engine{
 		w:         w,
+		wc:        world.NewChunkCache(w),
 		ents:      ents,
 		rng:       rand.New(rand.NewSource(seed)),
 		cfg:       cfg,
@@ -223,7 +228,7 @@ func (e *Engine) queueNeighbors(p world.Pos) {
 }
 
 func (e *Engine) enqueue(u scheduledUpdate) {
-	b, loaded := e.w.BlockIfLoaded(u.pos)
+	b, loaded := e.wc.BlockIfLoaded(u.pos)
 	if !loaded {
 		return
 	}
@@ -239,7 +244,7 @@ func (e *Engine) notifyObservers(changed world.Pos) {
 	for _, d := range []world.Direction{world.DirUp, world.DirDown, world.DirNorth,
 		world.DirSouth, world.DirEast, world.DirWest} {
 		op := d.Move(changed)
-		b, loaded := e.w.BlockIfLoaded(op)
+		b, loaded := e.wc.BlockIfLoaded(op)
 		if !loaded || b.ID != world.Observer {
 			continue
 		}
@@ -309,7 +314,7 @@ func (e *Engine) Tick() Counters {
 	if due, ok := e.scheduled[e.tick]; ok {
 		delete(e.scheduled, e.tick)
 		for _, u := range due {
-			if b, _ := e.w.BlockIfLoaded(u.pos); b.IsRedstoneComponent() || u.kind != updateNeighbor {
+			if b, _ := e.wc.BlockIfLoaded(u.pos); b.IsRedstoneComponent() || u.kind != updateNeighbor {
 				e.redstonePending = append(e.redstonePending, u)
 			} else {
 				e.pending = append(e.pending, u)
@@ -332,6 +337,7 @@ func (e *Engine) Tick() Counters {
 		budget = e.drain(&e.redstonePending, budget, true)
 		e.tickSpawners()
 		e.tickHoppers()
+		e.purgeWireSeen()
 	}
 
 	// Random ticks drive plant growth and similar slow processes.
@@ -355,7 +361,7 @@ func (e *Engine) drain(queue *[]scheduledUpdate, budget int, redstoneAllowed boo
 		u := q[0]
 		*queue = q[1:]
 		if !redstoneAllowed {
-			if b, loaded := e.w.BlockIfLoaded(u.pos); loaded && b.IsRedstoneComponent() {
+			if b, loaded := e.wc.BlockIfLoaded(u.pos); loaded && b.IsRedstoneComponent() {
 				e.redstonePending = append(e.redstonePending, u)
 				continue
 			}
@@ -364,6 +370,21 @@ func (e *Engine) drain(queue *[]scheduledUpdate, budget int, redstoneAllowed boo
 		e.apply(u)
 	}
 	return budget
+}
+
+// purgeWireSeen drops stale per-tick wire dedup entries once the map grows
+// large. Entries from past ticks behave exactly like absent ones (the lookup
+// compares the stored tick), so purging never changes behaviour — it only
+// bounds memory on long redstone-heavy runs.
+func (e *Engine) purgeWireSeen() {
+	if len(e.wireSeen) < 4096 {
+		return
+	}
+	for p, v := range e.wireSeen {
+		if v>>2 != e.tick {
+			delete(e.wireSeen, p)
+		}
+	}
 }
 
 // TickNumber returns the current game-tick number.
@@ -441,23 +462,23 @@ func sortedPositions(set map[world.Pos]struct{}) []world.Pos {
 }
 
 // randomTicks samples RandomTickRate random blocks per loaded chunk and
-// applies growth rules to them.
+// applies growth rules to them. Sampling reads straight off each chunk
+// (LoadedChunkRefs) — with thousands of loaded chunks this pass would
+// otherwise pay a world-lock acquisition and chunk-map lookup per sample.
 func (e *Engine) randomTicks() {
 	rate := e.cfg.RandomTickRate
 	if rate <= 0 {
 		return
 	}
-	for _, cp := range e.w.LoadedChunks() {
-		origin := cp.Origin()
+	for _, c := range e.w.LoadedChunkRefs() {
+		origin := c.Pos.Origin()
 		for i := 0; i < rate; i++ {
 			e.counters.RandomTicks++
-			p := world.Pos{
-				X: origin.X + e.rng.Intn(world.ChunkSize),
-				Y: e.rng.Intn(world.Height),
-				Z: origin.Z + e.rng.Intn(world.ChunkSize),
-			}
-			b, _ := e.w.BlockIfLoaded(p)
-			e.applyGrowth(p, b)
+			lx := e.rng.Intn(world.ChunkSize)
+			y := e.rng.Intn(world.Height)
+			lz := e.rng.Intn(world.ChunkSize)
+			p := world.Pos{X: origin.X + lx, Y: y, Z: origin.Z + lz}
+			e.applyGrowth(p, c.At(lx, y, lz))
 		}
 	}
 }

@@ -38,7 +38,7 @@ func (e *Engine) Explode(p world.Pos, radius float64) (int, Counters) {
 				}
 				e.counters.ExplosionScan++
 				q := p.Add(dx, dy, dz)
-				b, loaded := e.w.BlockIfLoaded(q)
+				b, loaded := e.wc.BlockIfLoaded(q)
 				if !loaded || b.IsAir() || blastResistant(b.ID) {
 					continue
 				}
@@ -113,7 +113,7 @@ func (e *Engine) MergedExplosions(centers []world.Pos, radius float64) (int, Cou
 					}
 					seen[q] = struct{}{}
 					e.counters.ExplosionScan++
-					b, loaded := e.w.BlockIfLoaded(q)
+					b, loaded := e.wc.BlockIfLoaded(q)
 					if !loaded || b.IsAir() || blastResistant(b.ID) {
 						continue
 					}

@@ -23,7 +23,7 @@ func (e *Engine) incomingPower(p world.Pos) uint8 {
 	for _, d := range []world.Direction{world.DirUp, world.DirDown, world.DirNorth,
 		world.DirSouth, world.DirEast, world.DirWest} {
 		np := d.Move(p)
-		nb, loaded := e.w.BlockIfLoaded(np)
+		nb, loaded := e.wc.BlockIfLoaded(np)
 		if !loaded {
 			continue
 		}
@@ -114,7 +114,7 @@ func (e *Engine) updateRepeater(p world.Pos, b world.Block) {
 
 // fireRepeater applies the latched output flip.
 func (e *Engine) fireRepeater(p world.Pos, val uint8) {
-	b, loaded := e.w.BlockIfLoaded(p)
+	b, loaded := e.wc.BlockIfLoaded(p)
 	if !loaded || b.ID != world.Repeater {
 		return
 	}
@@ -128,7 +128,7 @@ func (e *Engine) fireRepeater(p world.Pos, val uint8) {
 // powerAt reports whether the block at p emits or conducts power toward the
 // consumer at dst.
 func (e *Engine) powerAt(p, dst world.Pos) bool {
-	b, loaded := e.w.BlockIfLoaded(p)
+	b, loaded := e.wc.BlockIfLoaded(p)
 	if !loaded {
 		return false
 	}
@@ -168,7 +168,7 @@ func (e *Engine) updatePiston(p world.Pos, b world.Block) {
 
 func (e *Engine) extendPiston(p world.Pos, b world.Block) {
 	head := b.Facing().Move(p)
-	target, loaded := e.w.BlockIfLoaded(head)
+	target, loaded := e.wc.BlockIfLoaded(head)
 	if !loaded {
 		return
 	}
@@ -182,14 +182,14 @@ func (e *Engine) extendPiston(p world.Pos, b world.Block) {
 		e.counters.BlockRemoves++
 		e.ents.SpawnItem(head, harvestDrop(target.ID))
 		if target.ID == world.Kelp {
-			if below, _ := e.w.BlockIfLoaded(head.Down()); below.ID == world.Kelp {
+			if below, _ := e.wc.BlockIfLoaded(head.Down()); below.ID == world.Kelp {
 				e.w.SetBlock(head.Down(), world.Block{ID: world.Kelp, Meta: 0})
 			}
 		}
 	case target.IsSolid() && !immovable(target.ID):
 		// Push one block if there is room behind it.
 		dest := b.Facing().Move(head)
-		db, ok := e.w.BlockIfLoaded(dest)
+		db, ok := e.wc.BlockIfLoaded(dest)
 		if !ok || !db.IsAir() {
 			return
 		}
@@ -207,7 +207,7 @@ func (e *Engine) extendPiston(p world.Pos, b world.Block) {
 func (e *Engine) retractPiston(p world.Pos, b world.Block) {
 	e.counters.RedstoneOps++
 	head := b.Facing().Move(p)
-	if hb, _ := e.w.BlockIfLoaded(head); hb.ID == world.PistonHead {
+	if hb, _ := e.wc.BlockIfLoaded(head); hb.ID == world.PistonHead {
 		e.counters.BlockRemoves++
 		e.w.SetBlock(head, world.B(world.Air))
 	}
@@ -247,7 +247,7 @@ func immovable(id world.BlockID) bool {
 // igniteTNT converts a TNT block into a primed TNT entity with the standard
 // 80-tick fuse (4 seconds).
 func (e *Engine) igniteTNT(p world.Pos) {
-	b, loaded := e.w.BlockIfLoaded(p)
+	b, loaded := e.wc.BlockIfLoaded(p)
 	if !loaded || b.ID != world.TNT {
 		return
 	}

@@ -6,7 +6,7 @@ import "repro/internal/mlg/world"
 // the position. This is the "Process Actions / simulation rules applicable"
 // loop of the operational model (Figure 4, component 5).
 func (e *Engine) apply(u scheduledUpdate) {
-	b, loaded := e.w.BlockIfLoaded(u.pos)
+	b, loaded := e.wc.BlockIfLoaded(u.pos)
 	if !loaded {
 		return
 	}
@@ -75,7 +75,7 @@ func (e *Engine) apply(u scheduledUpdate) {
 		// solidifies — the stone-farm block source (Table 3).
 		var water, lava bool
 		for _, n := range u.pos.Neighbors6() {
-			switch nb, _ := e.w.BlockIfLoaded(n); nb.ID {
+			switch nb, _ := e.wc.BlockIfLoaded(n); nb.ID {
 			case world.Water:
 				water = true
 			case world.Lava:
@@ -92,7 +92,7 @@ func (e *Engine) apply(u scheduledUpdate) {
 		// Second-order update: power arriving at a solid block must
 		// re-evaluate components attached to it (a torch standing on it).
 		if b.IsSolid() {
-			if above, loaded := e.w.BlockIfLoaded(u.pos.Up()); loaded && above.ID == world.RedstoneTorch {
+			if above, loaded := e.wc.BlockIfLoaded(u.pos.Up()); loaded && above.ID == world.RedstoneTorch {
 				e.redstonePending = append(e.redstonePending,
 					scheduledUpdate{pos: u.pos.Up(), kind: updateNeighbor})
 			}
@@ -104,7 +104,7 @@ func (e *Engine) apply(u scheduledUpdate) {
 // terrain-physics rule of §2.2.2 ("a bridge can collapse when a player
 // removes its support pillars").
 func (e *Engine) applyGravity(p world.Pos, b world.Block) {
-	below, loaded := e.w.BlockIfLoaded(p.Down())
+	below, loaded := e.wc.BlockIfLoaded(p.Down())
 	if !loaded {
 		return
 	}
@@ -134,7 +134,7 @@ func (e *Engine) applyFluid(p world.Pos, b world.Block) {
 			opposing = world.Water
 		}
 		for _, n := range p.Neighbors6() {
-			if nb, _ := e.w.BlockIfLoaded(n); nb.ID == opposing {
+			if nb, _ := e.wc.BlockIfLoaded(n); nb.ID == opposing {
 				e.counters.BlockAdds++
 				e.w.SetBlock(p, world.B(world.Cobblestone))
 				return
@@ -146,12 +146,12 @@ func (e *Engine) applyFluid(p world.Pos, b world.Block) {
 	// neighbour or any fluid above; otherwise it dries.
 	if level > 0 {
 		fed := false
-		if above, _ := e.w.BlockIfLoaded(p.Up()); above.ID == b.ID {
+		if above, _ := e.wc.BlockIfLoaded(p.Up()); above.ID == b.ID {
 			fed = true
 		}
 		if !fed {
 			for _, n := range p.NeighborsHorizontal() {
-				nb, _ := e.w.BlockIfLoaded(n)
+				nb, _ := e.wc.BlockIfLoaded(n)
 				if nb.ID == b.ID && int(nb.Meta) < level {
 					fed = true
 					break
@@ -166,7 +166,7 @@ func (e *Engine) applyFluid(p world.Pos, b world.Block) {
 	}
 
 	// Flow down: falling fluid keeps level 1 (full column).
-	below, loaded := e.w.BlockIfLoaded(p.Down())
+	below, loaded := e.wc.BlockIfLoaded(p.Down())
 	if loaded && below.IsAir() {
 		e.counters.BlockAdds++
 		e.w.SetBlock(p.Down(), world.Block{ID: b.ID, Meta: 1})
@@ -182,7 +182,7 @@ func (e *Engine) applyFluid(p world.Pos, b world.Block) {
 	}
 	if loaded && (below.IsSolid() || below.ID == b.ID) {
 		for _, n := range p.NeighborsHorizontal() {
-			nb, ok := e.w.BlockIfLoaded(n)
+			nb, ok := e.wc.BlockIfLoaded(n)
 			if !ok {
 				continue
 			}
@@ -210,7 +210,7 @@ func (e *Engine) applyGrowth(p world.Pos, b world.Block) {
 		if b.Meta >= 15 {
 			return
 		}
-		above, _ := e.w.BlockIfLoaded(p.Up())
+		above, _ := e.wc.BlockIfLoaded(p.Up())
 		if above.ID == world.Water {
 			e.counters.GrowthOps++
 			e.counters.BlockAdds++
@@ -233,6 +233,6 @@ func (e *Engine) applyGrowth(p world.Pos, b world.Block) {
 }
 
 func (e *Engine) blockAirAt(p world.Pos) bool {
-	b, loaded := e.w.BlockIfLoaded(p)
+	b, loaded := e.wc.BlockIfLoaded(p)
 	return loaded && b.IsAir()
 }
