@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bytes"
 	"fmt"
 	"log"
 	"net"
@@ -18,6 +17,19 @@ import (
 // updates for connected sockets. This is the path the standalone
 // cmd/mlgserver binary and the real-TCP bot swarm use; benchmark
 // reproduction normally runs the in-process virtual path instead.
+//
+// The outbound side is built around three disciplines:
+//
+//   - Encode-once frames: a broadcast packet (block change, chat,
+//     keep-alive, time update, entity move) is marshalled to wire bytes
+//     exactly once (protocol.EncodeFrame) and written to N connections as a
+//     raw byte copy (Conn.WriteFrame).
+//   - Tick-scoped batch flushing: each player's per-tick sends sit between
+//     Conn.BeginBatch and Conn.FlushBatch, so a tick costs one flush
+//     (syscall) per player instead of one per packet.
+//   - Delta streaming: in-view entities send compact EntityMoveRel deltas
+//     against per-player last-sent positions; stationary entities send
+//     nothing, teleports and first sightings fall back to full EntityMove.
 
 // Serve accepts connections until the listener closes. It blocks; run it in
 // a goroutine alongside Run.
@@ -109,8 +121,11 @@ func (s *Server) handleConn(conn *protocol.Conn) {
 	}
 }
 
-// sendChunkBatch streams a batch of owed chunks over a player's connection.
+// sendChunkBatch streams a batch of owed chunks over a player's connection,
+// all under one flush.
 func (s *Server) sendChunkBatch(p *Player, batch []world.ChunkPos) {
+	p.conn.BeginBatch()
+	defer p.conn.FlushBatch()
 	for _, cp := range batch {
 		data := s.serializeChunk(cp)
 		if _, err := p.conn.WritePacket(&protocol.ChunkData{
@@ -121,41 +136,78 @@ func (s *Server) sendChunkBatch(p *Player, batch []world.ChunkPos) {
 	}
 }
 
-// serializeChunk produces a compact RLE payload of one chunk column.
+// chunkPayload is one cached serialized chunk column.
+type chunkPayload struct {
+	rev  uint64
+	data []byte
+}
+
+// serializeChunk returns the compact RLE payload of one chunk column,
+// served from the revision-keyed payload cache when the chunk is unchanged
+// since it was last serialized — join bursts and repeat sends reuse bytes
+// instead of re-walking 16×16×Height blocks. Tick-goroutine only.
 func (s *Server) serializeChunk(cp world.ChunkPos) []byte {
-	c := s.w.Chunk(cp)
-	var buf bytes.Buffer
-	var run []byte
-	var last world.Block
-	count := 0
-	flush := func() {
-		if count == 0 {
-			return
-		}
-		run = append(run[:0], byte(count>>8), byte(count), byte(last.ID), last.Meta)
-		buf.Write(run)
+	// Resolve through the RLock fast path: pending chunks were loaded at
+	// join time, so the write-locking generate path is a cold fallback.
+	c := s.w.ChunkIfLoaded(cp)
+	if c == nil {
+		c = s.w.Chunk(cp)
 	}
-	for y := 0; y < world.Height; y++ {
-		for z := 0; z < world.ChunkSize; z++ {
-			for x := 0; x < world.ChunkSize; x++ {
-				b := c.At(x, y, z)
-				if b == last && count > 0 && count < 0xFFFF {
-					count++
-					continue
-				}
-				flush()
-				last, count = b, 1
-			}
-		}
+	rev := c.Revision()
+	if e, ok := s.chunkPayloads[cp]; ok && e.rev == rev {
+		return e.data
 	}
-	flush()
-	return buf.Bytes()
+	data := c.AppendRLE(nil)
+	s.chunkPayloads[cp] = chunkPayload{rev: rev, data: data}
+	return data
+}
+
+// entSnap is one entity's per-tick broadcast snapshot: position (raw and
+// quantized), interest chunk, and the lazily encoded full-move frame shared
+// by every recipient that needs it.
+type entSnap struct {
+	id       int64
+	chunk    world.ChunkPos
+	x, y, z  float64
+	q        qpos
+	frame    protocol.Frame
+	hasFrame bool
+}
+
+// sendBuffers holds sendReal's per-tick slices, reused across ticks.
+type sendBuffers struct {
+	ents     []entSnap
+	bcFrames []protocol.Frame
+}
+
+// quant quantizes a coordinate to the EntityMoveRel 1/32-block grid.
+func quant(v float64) int32 { return int32(floorRound(v * 32)) }
+
+func floorRound(v float64) int64 {
+	if v >= 0 {
+		return int64(v + 0.5)
+	}
+	return -int64(-v + 0.5)
+}
+
+// fullMoveFrame returns the entity's encode-once full EntityMove frame,
+// marshalling it on first use this tick.
+func (e *entSnap) fullMoveFrame() protocol.Frame {
+	if !e.hasFrame {
+		e.frame = protocol.EncodeFrame(&protocol.EntityMove{
+			EntityID: int32(e.id), X: e.x, Y: e.y, Z: e.z,
+		})
+		e.hasFrame = true
+	}
+	return e.frame
 }
 
 // sendReal materializes this tick's updates for socket-backed players.
 // Entity updates are interest-filtered (only entities inside the player's
 // chunk view area are sent) and capped per tick per player, like production
-// servers' broadcast budgets.
+// servers' broadcast budgets. Broadcast packets are encoded once and fanned
+// out as raw frames; each player's whole tick goes out under a single
+// flush.
 func (s *Server) sendReal(players []*Player, bc []protocol.BlockChange, counts *tickCounts) {
 	const entityCap = 400
 	var hasReal bool
@@ -170,76 +222,111 @@ func (s *Server) sendReal(players []*Player, bc []protocol.BlockChange, counts *
 	}
 
 	// Snapshot entity positions (and their chunk, for the interest filter).
-	type entPos struct {
-		id      int64
-		chunk   world.ChunkPos
-		x, y, z float64
-	}
-	var ents []entPos
+	ents := s.sendScratch.ents[:0]
 	s.ents.Entities(func(e *entity.Entity) {
-		ents = append(ents, entPos{
+		ents = append(ents, entSnap{
 			id: e.ID, chunk: world.ChunkPosAt(e.Pos.BlockPos()),
 			x: e.Pos.X, y: e.Pos.Y, z: e.Pos.Z,
+			q: qpos{x: quant(e.Pos.X), y: quant(e.Pos.Y), z: quant(e.Pos.Z)},
 		})
 	})
+	s.sendScratch.ents = ents
 
-	// Chats processed this tick fan out to everyone.
+	// Encode the tick's shared broadcast frames exactly once.
+	bcFrames := s.sendScratch.bcFrames[:0]
+	for i := range bc {
+		bcFrames = append(bcFrames, protocol.EncodeFrame(&bc[i]))
+	}
+	s.sendScratch.bcFrames = bcFrames
+
 	s.mu.Lock()
 	tick := s.tick
 	s.mu.Unlock()
+	tickFrame := protocol.EncodeFrame(&protocol.TimeUpdate{Tick: tick})
 	vd := int32(s.cfg.ViewDistance)
 
+	var rel protocol.EntityMoveRel
 	for _, p := range players {
 		if p.conn == nil {
 			continue
 		}
-		for i := range bc {
-			if _, err := p.conn.WritePacket(&bc[i]); err != nil {
+		p.conn.BeginBatch()
+		for _, f := range bcFrames {
+			if _, err := p.conn.WriteFrame(f); err != nil {
 				break
 			}
 		}
 		pc := world.ChunkPosAt(p.Pos.BlockPos())
-		seen := make(map[int64]struct{}, len(p.tracked))
+		if p.lastSent == nil {
+			p.lastSent = make(map[int64]qpos, len(ents))
+		}
+		seen := p.seen
+		if seen == nil {
+			seen = make(map[int64]struct{}, len(ents))
+			p.seen = seen
+		} else {
+			clear(seen)
+		}
 		sent := 0
-		for _, en := range ents {
-			if sent >= entityCap {
-				break
-			}
+		for i := range ents {
+			en := &ents[i]
 			if !chunkWithinView(en.chunk, pc, vd) {
 				continue
 			}
-			if _, err := p.conn.WritePacket(&protocol.EntityMove{
-				EntityID: int32(en.id), X: en.x, Y: en.y, Z: en.z,
-			}); err != nil {
-				break
-			}
 			seen[en.id] = struct{}{}
+			if sent >= entityCap {
+				continue // budget spent; the delta catches up next tick
+			}
+			last, tracked := p.lastSent[en.id]
+			if tracked && en.q == last {
+				continue // stationary: nothing on the wire
+			}
+			dx, dy, dz := en.q.x-last.x, en.q.y-last.y, en.q.z-last.z
+			if tracked && fitsInt8(dx) && fitsInt8(dy) && fitsInt8(dz) {
+				rel = protocol.EntityMoveRel{
+					EntityID: int32(en.id),
+					DX:       int8(dx), DY: int8(dy), DZ: int8(dz),
+				}
+				if _, err := p.conn.WritePacket(&rel); err != nil {
+					break
+				}
+			} else {
+				// First sighting or a jump too large for a delta: full move.
+				if _, err := p.conn.WriteFrame(en.fullMoveFrame()); err != nil {
+					break
+				}
+			}
+			p.lastSent[en.id] = en.q
 			sent++
 		}
-		// Untrack: entities streamed last tick but no longer in this
-		// player's interest area (moved out of view, or despawned) are
-		// destroyed client-side, in ID order.
-		var gone []int64
-		for id := range p.tracked {
+		// Untrack: entities streamed before but no longer in this player's
+		// interest area (moved out of view, or despawned) are destroyed
+		// client-side, in ID order.
+		gone := p.gone[:0]
+		for id := range p.lastSent {
 			if _, ok := seen[id]; !ok {
 				gone = append(gone, id)
 			}
 		}
 		sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
 		for _, id := range gone {
+			delete(p.lastSent, id)
 			if _, err := p.conn.WritePacket(&protocol.DestroyEntity{EntityID: int32(id)}); err != nil {
 				break
 			}
 		}
-		p.tracked = seen
-		p.conn.WritePacket(&protocol.TimeUpdate{Tick: tick})
+		p.gone = gone
+		p.conn.WriteFrame(tickFrame)
+		p.conn.FlushBatch()
 	}
 }
 
-// BroadcastChat sends a chat packet to every socket-backed player. The
-// virtual path accounts chats without materializing them; the real path
-// delivers them here, which is how the bot swarm's response-time probe
-// observes its own message.
+func fitsInt8(v int32) bool { return v >= -128 && v <= 127 }
+
+// BroadcastChat sends a chat packet to every socket-backed player, encoded
+// once. The virtual path accounts chats without materializing them; the
+// real path delivers them here, which is how the bot swarm's response-time
+// probe observes its own message.
 func (s *Server) BroadcastChat(c *protocol.Chat) {
 	s.mu.Lock()
 	players := make([]*Player, 0, len(s.order))
@@ -247,9 +334,10 @@ func (s *Server) BroadcastChat(c *protocol.Chat) {
 		players = append(players, s.players[pid])
 	}
 	s.mu.Unlock()
+	f := protocol.EncodeFrame(c)
 	for _, p := range players {
 		if p.conn != nil {
-			p.conn.WritePacket(c)
+			p.conn.WriteFrame(f)
 		}
 	}
 }
@@ -257,7 +345,8 @@ func (s *Server) BroadcastChat(c *protocol.Chat) {
 // Addr formats a host:port for the default game port.
 func Addr(host string, port int) string { return fmt.Sprintf("%s:%d", host, port) }
 
-// keepAliveLoop periodically sends keep-alives on real connections.
+// keepAliveLoop periodically sends keep-alives on real connections, one
+// encode per round.
 func (s *Server) keepAliveLoop() {
 	t := time.NewTicker(s.cfg.KeepAliveEvery)
 	defer t.Stop()
@@ -271,11 +360,11 @@ func (s *Server) keepAliveLoop() {
 			for _, pid := range s.order {
 				players = append(players, s.players[pid])
 			}
-			nonce := time.Now().UnixNano()
 			s.mu.Unlock()
+			f := protocol.EncodeFrame(&protocol.KeepAlive{Nonce: time.Now().UnixNano()})
 			for _, p := range players {
 				if p.conn != nil {
-					p.conn.WritePacket(&protocol.KeepAlive{Nonce: nonce})
+					p.conn.WriteFrame(f)
 				}
 			}
 		}

@@ -55,11 +55,22 @@ type Player struct {
 	conn *protocol.Conn
 	// sendQueue counts chunks owed to this player from its join burst.
 	pendingChunks []world.ChunkPos
-	// tracked holds the entity IDs last streamed to a real connection, so
+	// lastSent maps entity ID → the last position streamed to this real
+	// connection, quantized to 1/32 block. Its key set is the tracked set:
 	// entities leaving the player's interest area get a destroy packet
-	// instead of freezing at their last in-view position.
-	tracked map[int64]struct{}
+	// instead of freezing at their last in-view position, and in-view
+	// entities stream compact EntityMoveRel deltas against these positions
+	// (stationary entities send nothing; overflowing deltas fall back to a
+	// full EntityMove).
+	lastSent map[int64]qpos
+	// seen and gone are per-tick scratch reused across ticks by sendReal.
+	seen map[int64]struct{}
+	gone []int64
 }
+
+// qpos is an entity position quantized to 1/32 block, the EntityMoveRel
+// delta unit.
+type qpos struct{ x, y, z int32 }
 
 // inbound is one queued client message (the paper's incoming networking
 // queue, Figure 4 component 1).
@@ -121,11 +132,21 @@ type Server struct {
 	clock   env.Clock
 	machine *env.Machine
 
-	mu      sync.Mutex
-	inbox   []inbound
-	players map[int64]*Player
-	order   []int64 // deterministic player iteration order
-	nextPID int64
+	mu       sync.Mutex
+	inbox    []inbound
+	inboxDue []inbound // processInbox's due-partition scratch, reused per tick
+	players  map[int64]*Player
+	order    []int64 // deterministic player iteration order
+	nextPID  int64
+
+	// chunkPayloads caches serialized RLE chunk payloads keyed on the
+	// chunk's revision, so join bursts and repeat sends reuse bytes instead
+	// of re-walking 16×16×Height blocks. Touched only on the tick goroutine
+	// (disseminate → sendChunkBatch).
+	chunkPayloads map[world.ChunkPos]chunkPayload
+
+	// sendScratch holds sendReal's per-tick buffers, reused across ticks.
+	sendScratch sendBuffers
 
 	// blockChanges collects this tick's terrain state updates for
 	// dissemination (count always; positions kept for real connections).
@@ -194,13 +215,14 @@ func New(w *world.World, cfg Config, machine *env.Machine, clock env.Clock) *Ser
 		cfg.Costs = DefaultCosts()
 	}
 	s := &Server{
-		cfg:     cfg,
-		w:       w,
-		clock:   clock,
-		machine: machine,
-		players: make(map[int64]*Player),
-		sizes:   measuredSizes(),
-		stopped: make(chan struct{}),
+		cfg:           cfg,
+		w:             w,
+		clock:         clock,
+		machine:       machine,
+		players:       make(map[int64]*Player),
+		chunkPayloads: make(map[world.ChunkPos]chunkPayload),
+		sizes:         measuredSizes(),
+		stopped:       make(chan struct{}),
 	}
 	s.ents = entity.NewWorld(w, cfg.Flavor.EntityConfig(), cfg.Seed+1)
 	s.engine = sim.New(w, s.ents, cfg.Flavor.SimConfig(), cfg.Seed+2)
@@ -239,12 +261,11 @@ func (s *Server) Connect(name string) *Player {
 }
 
 func (s *Server) connect(name string, conn *protocol.Conn) *Player {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextPID++
+	// World-generation work (spawn probe, view-area load) runs before the
+	// server mutex is taken: a join burst must not stall Enqueue or stats
+	// readers on s.mu while terrain generates behind the world's own lock.
 	spawnY := s.w.HighestSolidY(8, 8) + 1
 	p := &Player{
-		ID:   s.nextPID,
 		Name: name,
 		Pos:  entity.Vec3{X: 8.5, Y: float64(spawnY), Z: 8.5},
 		conn: conn,
@@ -253,14 +274,21 @@ func (s *Server) connect(name string, conn *protocol.Conn) *Player {
 	// chunks (serialization + send burst on the next tick).
 	s.w.EnsureArea(p.Pos.BlockPos(), s.cfg.ViewDistance)
 	cc := world.ChunkPosAt(p.Pos.BlockPos())
+	side := 2*s.cfg.ViewDistance + 1
+	p.pendingChunks = make([]world.ChunkPos, 0, side*side)
 	for dz := -s.cfg.ViewDistance; dz <= s.cfg.ViewDistance; dz++ {
 		for dx := -s.cfg.ViewDistance; dx <= s.cfg.ViewDistance; dx++ {
 			p.pendingChunks = append(p.pendingChunks,
 				world.ChunkPos{X: cc.X + int32(dx), Z: cc.Z + int32(dz)})
 		}
 	}
+
+	s.mu.Lock()
+	s.nextPID++
+	p.ID = s.nextPID
 	s.players[p.ID] = p
 	s.order = append(s.order, p.ID)
+	s.mu.Unlock()
 	return p
 }
 
@@ -520,10 +548,15 @@ func (s *Server) playerPositions() []entity.Vec3 {
 }
 
 // processInbox drains the incoming queue entries that arrived before the
-// tick start and applies them via the player handler.
+// tick start and applies them via the player handler. The inbox is
+// partitioned stably and allocation-free: not-yet-due entries compact in
+// place into the inbox's own backing array (the write cursor never passes
+// the read cursor), due entries land in a scratch slice reused across
+// ticks.
 func (s *Server) processInbox(counts *tickCounts, tickStart time.Time) {
 	s.mu.Lock()
-	var due, later []inbound
+	due := s.inboxDue[:0]
+	later := s.inbox[:0]
 	for _, in := range s.inbox {
 		if in.arrival.After(tickStart) {
 			later = append(later, in)
@@ -532,6 +565,7 @@ func (s *Server) processInbox(counts *tickCounts, tickStart time.Time) {
 		}
 	}
 	s.inbox = later
+	s.inboxDue = due
 	s.mu.Unlock()
 
 	for _, in := range due {

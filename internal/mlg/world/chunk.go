@@ -56,6 +56,10 @@ type Chunk struct {
 	lightHeight [ChunkSize * ChunkSize]uint8
 	// nonAir tracks occupancy for cheap emptiness checks and size reporting.
 	nonAir int
+	// rev counts block mutations (Set calls that changed a block), so
+	// consumers can cache derived data — serialized payloads, meshes —
+	// keyed on (chunk, revision) and reuse it while the chunk is unchanged.
+	rev uint64
 }
 
 // NewChunk returns an empty (all-air) chunk at the given position.
@@ -80,7 +84,11 @@ func (c *Chunk) Set(lx, y, lz int, b Block) Block {
 	}
 	idx := blockIndex(lx, y, lz)
 	old := c.blocks[idx]
+	if old == b {
+		return old
+	}
 	c.blocks[idx] = b
+	c.rev++
 	switch {
 	case old.IsAir() && !b.IsAir():
 		c.nonAir++
@@ -88,6 +96,29 @@ func (c *Chunk) Set(lx, y, lz int, b Block) Block {
 		c.nonAir--
 	}
 	return old
+}
+
+// Revision returns the chunk's mutation counter. Two reads returning the
+// same value bracket an unchanged chunk, so any payload derived in between
+// is still valid.
+func (c *Chunk) Revision() uint64 { return c.rev }
+
+// AppendRLE appends the chunk's run-length-encoded wire payload to dst:
+// (count uint16 big-endian, block ID, meta) runs over the flat Y-major
+// block array, runs capped at 0xFFFF blocks. This is the ChunkData payload
+// format the server streams on join.
+func (c *Chunk) AppendRLE(dst []byte) []byte {
+	i := 0
+	for i < len(c.blocks) {
+		b := c.blocks[i]
+		j := i + 1
+		for j < len(c.blocks) && c.blocks[j] == b && j-i < 0xFFFF {
+			j++
+		}
+		dst = append(dst, byte((j-i)>>8), byte(j-i), byte(b.ID), b.Meta)
+		i = j
+	}
+	return dst
 }
 
 // NonAirCount returns the number of non-air blocks in the chunk.

@@ -1,0 +1,40 @@
+package world
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSetBlockAndReaders: the lock-free chunk-read fast paths
+// must keep chunk contents under the read lock — a joining player's spawn
+// probe (HighestSolidY) and terrain reads race the tick goroutine's
+// SetBlock otherwise. Run under -race, this is the regression guard.
+func TestConcurrentSetBlockAndReaders(t *testing.T) {
+	w := New(&FlatGenerator{SurfaceY: 10, Surface: Grass})
+	w.EnsureArea(Pos{X: 8, Z: 8}, 1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				w.SetBlock(Pos{X: 8, Y: 30, Z: 8}, B(Stone))
+			} else {
+				w.SetBlock(Pos{X: 8, Y: 30, Z: 8}, B(Air))
+			}
+		}
+	}()
+	for i := 0; i < 20000; i++ {
+		w.HighestSolidY(8, 8)
+		w.Block(Pos{X: 8, Y: 30, Z: 8})
+		w.BlockIfLoaded(Pos{X: 8, Y: 30, Z: 8})
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,57 @@
+package world
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestChunkRevision: the mutation counter must advance exactly on real
+// block changes — reads and no-op writes leave it (and any payload cached
+// against it) untouched.
+func TestChunkRevision(t *testing.T) {
+	c := NewChunk(ChunkPos{})
+	if c.Revision() != 0 {
+		t.Fatalf("fresh chunk revision = %d", c.Revision())
+	}
+	c.Set(1, 2, 3, B(Stone))
+	r1 := c.Revision()
+	if r1 == 0 {
+		t.Fatal("Set did not bump revision")
+	}
+	c.At(1, 2, 3)
+	c.Set(1, 2, 3, B(Stone)) // no-op: same block
+	if c.Revision() != r1 {
+		t.Fatalf("read or no-op write bumped revision: %d -> %d", r1, c.Revision())
+	}
+	c.Set(1, 2, 3, B(Air))
+	if c.Revision() <= r1 {
+		t.Fatal("real change did not bump revision")
+	}
+	c.Set(-1, 0, 0, B(Stone)) // out of range: ignored
+	c.Set(0, Height, 0, B(Stone))
+	if c.Revision() != r1+1 {
+		t.Fatalf("out-of-range Set bumped revision: %d", c.Revision())
+	}
+}
+
+// TestAppendRLERoundTrip: the wire payload must run-length encode the flat
+// block array exactly, splitting runs at value changes and the 0xFFFF cap.
+func TestAppendRLE(t *testing.T) {
+	c := NewChunk(ChunkPos{})
+	if got := c.AppendRLE(nil); len(got) != 4 ||
+		got[0] != 0x40 || got[1] != 0x00 || got[2] != byte(Air) {
+		// 16*16*64 = 16384 = 0x4000 air blocks in one run
+		t.Fatalf("all-air RLE = %x", got)
+	}
+	c.Set(0, 0, 0, B(Stone))
+	got := c.AppendRLE(nil)
+	want := []byte{0, 1, byte(Stone), 0, 0x3F, 0xFF, byte(Air), 0}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("RLE = %x, want %x", got, want)
+	}
+	// Appends after existing bytes, leaving the prefix alone.
+	pre := []byte{0xAA}
+	if got := c.AppendRLE(pre); got[0] != 0xAA || !bytes.Equal(got[1:], want) {
+		t.Fatalf("AppendRLE with prefix = %x", got)
+	}
+}

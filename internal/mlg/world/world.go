@@ -86,15 +86,21 @@ func (w *World) Block(p Pos) Block {
 		return Block{}
 	}
 	cp := ChunkPosAt(p)
+	// The chunk read happens under the same RLock as the map lookup:
+	// SetBlock mutates chunk contents under the write lock, so an unlocked
+	// At would race with it (readers still do not serialize each other).
 	w.mu.RLock()
-	c := w.chunks[cp]
-	w.mu.RUnlock()
-	if c == nil {
-		w.mu.Lock()
-		c = w.chunkLocked(cp)
-		w.mu.Unlock()
+	if c := w.chunks[cp]; c != nil {
+		b := c.At(floorMod(p.X, ChunkSize), p.Y, floorMod(p.Z, ChunkSize))
+		w.mu.RUnlock()
+		return b
 	}
-	return c.At(floorMod(p.X, ChunkSize), p.Y, floorMod(p.Z, ChunkSize))
+	w.mu.RUnlock()
+	w.mu.Lock()
+	c := w.chunkLocked(cp)
+	b := c.At(floorMod(p.X, ChunkSize), p.Y, floorMod(p.Z, ChunkSize))
+	w.mu.Unlock()
+	return b
 }
 
 // BlockIfLoaded returns the block at p and whether its chunk was loaded,
@@ -106,11 +112,13 @@ func (w *World) BlockIfLoaded(p Pos) (Block, bool) {
 	}
 	w.mu.RLock()
 	c := w.chunks[ChunkPosAt(p)]
-	w.mu.RUnlock()
 	if c == nil {
+		w.mu.RUnlock()
 		return Block{}, false
 	}
-	return c.At(floorMod(p.X, ChunkSize), p.Y, floorMod(p.Z, ChunkSize)), true
+	b := c.At(floorMod(p.X, ChunkSize), p.Y, floorMod(p.Z, ChunkSize))
+	w.mu.RUnlock()
+	return b, true
 }
 
 // SetBlock stores b at p, returns the previous block, recomputes the
@@ -147,14 +155,17 @@ func (w *World) SetBlock(p Pos, b Block) Block {
 func (w *World) HighestSolidY(x, z int) int {
 	cp := ChunkPosAt(Pos{X: x, Z: z})
 	w.mu.RLock()
-	c := w.chunks[cp]
-	w.mu.RUnlock()
-	if c == nil {
-		w.mu.Lock()
-		c = w.chunkLocked(cp)
-		w.mu.Unlock()
+	if c := w.chunks[cp]; c != nil {
+		y := c.HighestSolidY(floorMod(x, ChunkSize), floorMod(z, ChunkSize))
+		w.mu.RUnlock()
+		return y
 	}
-	return c.HighestSolidY(floorMod(x, ChunkSize), floorMod(z, ChunkSize))
+	w.mu.RUnlock()
+	w.mu.Lock()
+	c := w.chunkLocked(cp)
+	y := c.HighestSolidY(floorMod(x, ChunkSize), floorMod(z, ChunkSize))
+	w.mu.Unlock()
+	return y
 }
 
 // EnsureArea loads (generating as needed) all chunks intersecting the

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,23 +16,28 @@ const MaxFrameSize = 4 << 20
 
 // Conn frames packets over a byte stream. It is safe for one concurrent
 // reader and one concurrent writer. Byte and message counters feed the
-// Table 8 network statistics.
+// Table 8 network statistics; they are plain atomics so the hot write path
+// pays no stats mutex.
 type Conn struct {
-	rw io.ReadWriteCloser
-	br *bufio.Reader
+	rw   io.ReadWriteCloser
+	br   *bufio.Reader
+	rbuf []byte // pooled payload buffer, owned by the reader goroutine
 
 	wmu  sync.Mutex
 	bw   *bufio.Writer
 	wbuf []byte
+	// batchDepth suspends the flush-per-packet discipline while > 0: writes
+	// accumulate in bw and go out on the closing FlushBatch (or when the
+	// buffer fills). Guarded by wmu.
+	batchDepth int
 
-	statsMu      sync.Mutex
-	msgsOut      int64
-	bytesOut     int64
-	entityMsgs   int64
-	entityBytes  int64
-	msgsIn       int64
-	bytesIn      int64
-	lastActivity time.Time
+	msgsOut      atomic.Int64
+	bytesOut     atomic.Int64
+	entityMsgs   atomic.Int64
+	entityBytes  atomic.Int64
+	msgsIn       atomic.Int64
+	bytesIn      atomic.Int64
+	lastActivity atomic.Int64 // unix nanoseconds
 }
 
 // NewConn wraps a stream (usually a *net.TCPConn) in a packet framer.
@@ -52,43 +58,93 @@ func Dial(addr string) (*Conn, error) {
 	return NewConn(c), nil
 }
 
+// noteOut records outbound traffic for one packet of the given frame size.
+func (c *Conn) noteOut(frame int, entity bool) {
+	c.msgsOut.Add(1)
+	c.bytesOut.Add(int64(frame))
+	if entity {
+		c.entityMsgs.Add(1)
+		c.entityBytes.Add(int64(frame))
+	}
+	c.lastActivity.Store(time.Now().UnixNano())
+}
+
+// flushLocked flushes unless a batch is open; caller holds wmu.
+func (c *Conn) flushLocked() error {
+	if c.batchDepth > 0 {
+		return nil
+	}
+	return c.bw.Flush()
+}
+
 // WritePacket frames and sends one packet, returning the frame size in
-// bytes. It flushes immediately: game traffic is latency sensitive.
+// bytes. Outside a batch it flushes immediately (game traffic is latency
+// sensitive); inside a BeginBatch/FlushBatch window the bytes ride the
+// batch.
 func (c *Conn) WritePacket(p Packet) (int, error) {
 	c.wmu.Lock()
-	defer c.wmu.Unlock()
-
-	c.wbuf = c.wbuf[:0]
-	c.wbuf = AppendVarint(c.wbuf, int32(p.ID()))
-	c.wbuf = p.MarshalBody(c.wbuf)
-
-	frame := VarintLen(int32(len(c.wbuf))) + len(c.wbuf)
-	var hdr [maxVarintBytes]byte
-	n := AppendVarint(hdr[:0], int32(len(c.wbuf)))
-	if _, err := c.bw.Write(n); err != nil {
-		return 0, err
-	}
+	c.wbuf = AppendFrame(c.wbuf[:0], p)
+	frame := len(c.wbuf)
 	if _, err := c.bw.Write(c.wbuf); err != nil {
+		c.wmu.Unlock()
 		return 0, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.flushLocked(); err != nil {
+		c.wmu.Unlock()
 		return 0, err
 	}
-
-	c.statsMu.Lock()
-	c.msgsOut++
-	c.bytesOut += int64(frame)
-	if EntityRelated(p) {
-		c.entityMsgs++
-		c.entityBytes += int64(frame)
-	}
-	c.lastActivity = time.Now()
-	c.statsMu.Unlock()
+	c.wmu.Unlock()
+	c.noteOut(frame, EntityRelated(p))
 	return frame, nil
 }
 
+// WriteFrame sends an already-encoded frame as a raw byte copy — the
+// broadcast fast path: the packet was marshalled once (EncodeFrame) and
+// fans out to N connections without re-encoding. Flush discipline matches
+// WritePacket.
+func (c *Conn) WriteFrame(f Frame) (int, error) {
+	c.wmu.Lock()
+	if _, err := c.bw.Write(f.data); err != nil {
+		c.wmu.Unlock()
+		return 0, err
+	}
+	if err := c.flushLocked(); err != nil {
+		c.wmu.Unlock()
+		return 0, err
+	}
+	c.wmu.Unlock()
+	c.noteOut(len(f.data), f.entity)
+	return len(f.data), nil
+}
+
+// BeginBatch opens a batch window: subsequent writes accumulate in the
+// connection's buffer instead of flushing per packet. Batches nest; each
+// BeginBatch must be paired with a FlushBatch. The server's dissemination
+// phase wraps each player's per-tick sends in one batch, turning a
+// flush (syscall) per packet into one per player per tick.
+func (c *Conn) BeginBatch() {
+	c.wmu.Lock()
+	c.batchDepth++
+	c.wmu.Unlock()
+}
+
+// FlushBatch closes the innermost batch window and, when the last one
+// closes, flushes everything accumulated.
+func (c *Conn) FlushBatch() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.batchDepth > 0 {
+		c.batchDepth--
+	}
+	if c.batchDepth == 0 {
+		return c.bw.Flush()
+	}
+	return nil
+}
+
 // ReadPacket reads and decodes the next packet, returning it and the frame
-// size in bytes.
+// size in bytes. The payload is staged in a buffer reused across calls, not
+// allocated per packet; decoded packets copy what they keep.
 func (c *Conn) ReadPacket() (Packet, int, error) {
 	length, err := ReadVarint(c.br)
 	if err != nil {
@@ -97,7 +153,10 @@ func (c *Conn) ReadPacket() (Packet, int, error) {
 	if length < 1 || length > MaxFrameSize {
 		return nil, 0, fmt.Errorf("protocol: bad frame length %d", length)
 	}
-	payload := make([]byte, length)
+	if cap(c.rbuf) < int(length) {
+		c.rbuf = make([]byte, length)
+	}
+	payload := c.rbuf[:length]
 	if _, err := io.ReadFull(c.br, payload); err != nil {
 		return nil, 0, err
 	}
@@ -113,11 +172,9 @@ func (c *Conn) ReadPacket() (Packet, int, error) {
 		return nil, 0, fmt.Errorf("protocol: decode %#x: %w", id, err)
 	}
 	frame := VarintLen(length) + int(length)
-	c.statsMu.Lock()
-	c.msgsIn++
-	c.bytesIn += int64(frame)
-	c.lastActivity = time.Now()
-	c.statsMu.Unlock()
+	c.msgsIn.Add(1)
+	c.bytesIn.Add(int64(frame))
+	c.lastActivity.Store(time.Now().UnixNano())
 	return p, frame, nil
 }
 
@@ -131,13 +188,16 @@ type Stats struct {
 	MsgsIn, BytesIn         int64
 }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a snapshot of the traffic counters. The counters are
+// independent atomics, so a snapshot taken during writes is not a single
+// consistent cut; loading the entity counters before the totals (writers
+// add totals first, noteOut) keeps the invariant EntityMsgs <= MsgsOut and
+// EntityBytes <= BytesOut regardless of interleaving.
 func (c *Conn) Stats() Stats {
-	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
+	entityMsgs, entityBytes := c.entityMsgs.Load(), c.entityBytes.Load()
 	return Stats{
-		MsgsOut: c.msgsOut, BytesOut: c.bytesOut,
-		EntityMsgs: c.entityMsgs, EntityBytes: c.entityBytes,
-		MsgsIn: c.msgsIn, BytesIn: c.bytesIn,
+		EntityMsgs: entityMsgs, EntityBytes: entityBytes,
+		MsgsOut: c.msgsOut.Load(), BytesOut: c.bytesOut.Load(),
+		MsgsIn: c.msgsIn.Load(), BytesIn: c.bytesIn.Load(),
 	}
 }

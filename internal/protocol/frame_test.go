@@ -1,0 +1,173 @@
+package protocol
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestAppendFrameMatchesWritePacket: the encode-once frame of every packet
+// type must be byte-identical to what the per-packet WritePacket path puts
+// on the wire.
+func TestAppendFrameMatchesWritePacket(t *testing.T) {
+	for _, p := range allPackets() {
+		var buf bytes.Buffer
+		c := NewConn(rwc{&buf})
+		n, err := c.WritePacket(p)
+		if err != nil {
+			t.Fatalf("%T: write: %v", p, err)
+		}
+		frame := AppendFrame(nil, p)
+		if !bytes.Equal(frame, buf.Bytes()) {
+			t.Errorf("%T: AppendFrame %x != WritePacket %x", p, frame, buf.Bytes())
+		}
+		if n != len(frame) {
+			t.Errorf("%T: WritePacket size %d, frame size %d", p, n, len(frame))
+		}
+		f := EncodeFrame(p)
+		if f.Len() != len(frame) {
+			t.Errorf("%T: EncodeFrame.Len %d, want %d", p, f.Len(), len(frame))
+		}
+		if f.EntityRelated() != EntityRelated(p) {
+			t.Errorf("%T: frame entity classification diverges", p)
+		}
+	}
+}
+
+// TestBatchedFrameStreamByteIdentical: a full packet sequence written with
+// encode-once frames inside one batch must produce the exact byte stream of
+// the legacy flush-per-packet path, and decode back to the same packets.
+func TestBatchedFrameStreamByteIdentical(t *testing.T) {
+	pkts := allPackets()
+
+	var perPacket bytes.Buffer
+	ca := NewConn(rwc{&perPacket})
+	for _, p := range pkts {
+		if _, err := ca.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var batched bytes.Buffer
+	cb := NewConn(rwc{&batched})
+	cb.BeginBatch()
+	for _, p := range pkts {
+		if _, err := cb.WriteFrame(EncodeFrame(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batched.Len() != 0 {
+		t.Fatalf("batch leaked %d bytes before FlushBatch", batched.Len())
+	}
+	if err := cb.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(perPacket.Bytes(), batched.Bytes()) {
+		t.Fatalf("batched stream differs from per-packet stream\nper-packet: %x\nbatched:    %x",
+			perPacket.Bytes(), batched.Bytes())
+	}
+
+	// The batched stream must decode back to the same packets.
+	cr := NewConn(rwc{&batched})
+	for _, want := range pkts {
+		got, _, err := cr.ReadPacket()
+		if err != nil {
+			t.Fatalf("decode %T from batched stream: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("batched round trip: sent %+v, got %+v", want, got)
+		}
+	}
+}
+
+// TestNestedBatchesFlushOnce: inner FlushBatch must not flush while an
+// outer batch is open.
+func TestNestedBatchesFlushOnce(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(rwc{&buf})
+	c.BeginBatch()
+	c.BeginBatch()
+	if _, err := c.WriteFrame(EncodeFrame(&KeepAlive{Nonce: 7})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("inner FlushBatch flushed while outer batch open")
+	}
+	if err := c.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("outer FlushBatch did not flush")
+	}
+}
+
+// TestWriteFrameStats: the raw-copy path must keep the Table 8 counters
+// exact, including the entity classification.
+func TestWriteFrameStats(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(rwc{&buf})
+	move := EncodeFrame(&EntityMove{EntityID: 9, X: 1, Y: 2, Z: 3})
+	chat := EncodeFrame(&Chat{Sender: "a", Text: "hi"})
+	c.WriteFrame(move)
+	c.WriteFrame(move)
+	c.WriteFrame(chat)
+	st := c.Stats()
+	if st.MsgsOut != 3 || st.EntityMsgs != 2 {
+		t.Fatalf("msgs = %d (entity %d), want 3 (2)", st.MsgsOut, st.EntityMsgs)
+	}
+	wantBytes := int64(2*move.Len() + chat.Len())
+	if st.BytesOut != wantBytes || st.EntityBytes != int64(2*move.Len()) {
+		t.Fatalf("bytes = %d (entity %d), want %d (%d)",
+			st.BytesOut, st.EntityBytes, wantBytes, 2*move.Len())
+	}
+	if int64(buf.Len()) != wantBytes {
+		t.Fatalf("wire bytes %d, want %d", buf.Len(), wantBytes)
+	}
+}
+
+// TestReadVarintBytesTruncatedVsOverlong: a buffer that merely ends
+// mid-varint is a truncation, not a malformed overlong encoding.
+func TestReadVarintBytesTruncatedVsOverlong(t *testing.T) {
+	for _, src := range [][]byte{nil, {}, {0x80}, {0xFF, 0xFF}, {0x80, 0x80, 0x80, 0x80}} {
+		if _, _, err := readVarintBytes(src); err != ErrVarintTruncated {
+			t.Errorf("readVarintBytes(%x) err = %v, want ErrVarintTruncated", src, err)
+		}
+	}
+	for _, src := range [][]byte{
+		{0x80, 0x80, 0x80, 0x80, 0x80},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01},
+	} {
+		if _, _, err := readVarintBytes(src); err != ErrVarintTooLong {
+			t.Errorf("readVarintBytes(%x) err = %v, want ErrVarintTooLong", src, err)
+		}
+	}
+}
+
+// TestReadPacketReusesBuffer: decoded packets must own their data — nothing
+// may alias the connection's pooled read buffer across packets.
+func TestReadPacketReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(rwc{&buf})
+	first := &Chat{Sender: "alice", Text: "first message"}
+	second := &Chat{Sender: "bob", Text: "second message"}
+	c.WritePacket(first)
+	c.WritePacket(second)
+
+	p1, _, err := c.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := c.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p1.(*Chat); got.Sender != "alice" || got.Text != "first message" {
+		t.Fatalf("first packet corrupted by buffer reuse: %+v", got)
+	}
+	if got := p2.(*Chat); got.Sender != "bob" || got.Text != "second message" {
+		t.Fatalf("second packet wrong: %+v", got)
+	}
+}

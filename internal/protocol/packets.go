@@ -76,15 +76,17 @@ func readString(src []byte) (string, []byte, error) {
 
 func readVarintBytes(src []byte) (int32, []byte, error) {
 	var result uint32
-	for i := 0; i < maxVarintBytes && i < len(src); i++ {
+	for i := 0; i < maxVarintBytes; i++ {
+		if i >= len(src) {
+			// The buffer ran out mid-encoding: a short read, not an overlong
+			// varint.
+			return 0, nil, ErrVarintTruncated
+		}
 		b := src[i]
 		result |= uint32(b&0x7F) << (7 * i)
 		if b&0x80 == 0 {
 			return int32(result), src[i+1:], nil
 		}
-	}
-	if len(src) == 0 {
-		return 0, nil, fmt.Errorf("protocol: empty varint")
 	}
 	return 0, nil, ErrVarintTooLong
 }

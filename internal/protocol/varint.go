@@ -20,6 +20,12 @@ const maxVarintBytes = 5
 // ErrVarintTooLong reports a malformed varint of more than 5 bytes.
 var ErrVarintTooLong = errors.New("protocol: varint too long")
 
+// ErrVarintTruncated reports a buffer that ended in the middle of a varint:
+// the bytes seen so far are a valid prefix, the encoding just is not all
+// there. Distinct from ErrVarintTooLong, which means the input really is
+// malformed no matter how much more of it arrives.
+var ErrVarintTruncated = errors.New("protocol: truncated varint")
+
 // AppendVarint appends the zigzag-free unsigned LEB128 encoding of v
 // (interpreted as uint32, the Minecraft convention) to dst.
 func AppendVarint(dst []byte, v int32) []byte {

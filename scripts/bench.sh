@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# bench.sh — run the tick + network benchmarks and record the perf
+# trajectory into a JSON file (default BENCH_3.json): one entry per
+# benchmark with name, ns/op and allocs/op.
+#
+# Usage:
+#   scripts/bench.sh [out.json]
+#   BENCHTIME=1x scripts/bench.sh     # CI smoke: one iteration each
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_3.json}"
+benchtime="${BENCHTIME:-1s}"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkTick$|BenchmarkSendReal$|BenchmarkSerializeChunk$' \
+  -benchmem -benchtime "$benchtime" \
+  ./internal/mlg/server | tee "$raw"
+
+awk '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    ns = "null"; allocs = "null"
+    for (i = 2; i <= NF; i++) {
+      if ($(i + 1) == "ns/op")     ns = $i
+      if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", sep, name, ns, allocs
+    sep = ",\n"
+  }
+  BEGIN { print "[" }
+  END   { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"
