@@ -65,6 +65,10 @@ type Config struct {
 	Scale int
 	// Environment selects the deployment-environment profile by name.
 	Environment string
+	// SimWorkers is the terrain-simulation drain parallelism of the servers
+	// under test: 0 = GOMAXPROCS, 1 = legacy serial drain. Output is
+	// bit-identical either way (see internal/mlg/sim).
+	SimWorkers int
 }
 
 // DefaultConfig returns the Table 4 typical values.
@@ -114,6 +118,9 @@ func (c Config) Validate() error {
 	if c.Scale < 1 {
 		return fmt.Errorf("config: scale must be >= 1")
 	}
+	if c.SimWorkers < 0 {
+		return fmt.Errorf("config: negative sim workers")
+	}
 	return nil
 }
 
@@ -138,12 +145,13 @@ func (c Config) Specs() ([]RunSpec, error) {
 				ws.BotsMove = false
 			}
 			specs = append(specs, RunSpec{
-				Flavor:    flavor,
-				Workload:  ws,
-				Env:       profile,
-				Duration:  c.Duration,
-				Iteration: it,
-				Seed:      int64(1000*it) + FlavorSeed(name),
+				Flavor:     flavor,
+				Workload:   ws,
+				Env:        profile,
+				Duration:   c.Duration,
+				Iteration:  it,
+				Seed:       int64(1000*it) + FlavorSeed(name),
+				SimWorkers: c.SimWorkers,
 			})
 		}
 	}

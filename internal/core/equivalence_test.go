@@ -1,0 +1,70 @@
+package core
+
+// Run-level serial-vs-parallel equivalence: full benchmark runs — bots,
+// virtual clock, cost model, dissemination, reports — hashed with the
+// golden FNV-1a checksum must be bit-identical between SimWorkers=1 (legacy
+// serial drain) and SimWorkers=4 (region-parallel schedule).
+//
+// TestGoldenChecksumsParallel additionally pins the parallel schedule to
+// the committed golden table: the pre-existing checksums must hold at
+// SimWorkers>1, which is the acceptance gate for the region-parallel
+// engine (it may only change wall-clock time, never output).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mlg/server"
+	"repro/internal/workload"
+)
+
+func TestGoldenChecksumsParallel(t *testing.T) {
+	for _, k := range workload.All() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			spec := goldenSpec(k)
+			spec.SimWorkers = 4
+			if got, want := hashRunResult(Run(spec)), goldenChecksums[k]; got != want {
+				t.Errorf("%v parallel checksum = %#016x, want golden %#016x\n"+
+					"the region-parallel schedule changed simulation output", k, got, want)
+			}
+		})
+	}
+}
+
+// TestSerialParallelRunMatrix runs every workload x flavor for 60+ ticks at
+// SimWorkers=1 and SimWorkers=4 and asserts identical run checksums.
+// Construct workloads run at Scale 2 so the update queues actually
+// partition into multiple regions (scale 1 lays out a single dense cluster
+// — one region — which would exercise only the serial path).
+func TestSerialParallelRunMatrix(t *testing.T) {
+	flavors := server.Flavors()
+	if testing.Short() {
+		flavors = flavors[:1]
+	}
+	for _, k := range workload.All() {
+		for _, f := range flavors {
+			k, f := k, f
+			t.Run(k.String()+"/"+f.Name, func(t *testing.T) {
+				spec := RunSpec{
+					Flavor:   f,
+					Workload: k.DefaultSpec(),
+					Env:      goldenSpec(k).Env,
+					Duration: 3500 * time.Millisecond, // 70 ticks
+					Seed:     987,
+				}
+				switch k {
+				case workload.TNT, workload.Farm, workload.Lag:
+					spec.Workload.Scale = 2
+				}
+				serial, parallel := spec, spec
+				serial.SimWorkers = 1
+				parallel.SimWorkers = 4
+				if a, b := hashRunResult(Run(serial)), hashRunResult(Run(parallel)); a != b {
+					t.Fatalf("%v/%v: run checksums diverged: serial %#016x vs parallel %#016x",
+						k, f.Name, a, b)
+				}
+			})
+		}
+	}
+}

@@ -27,6 +27,12 @@ type RunSpec struct {
 	// WorldSeed overrides the terrain seed (default the paper's Control
 	// seed).
 	WorldSeed int64
+	// SimWorkers sets the terrain-simulation drain parallelism of the
+	// server under test (0 = GOMAXPROCS, 1 = legacy serial). Simulation
+	// output is bit-identical at any value — the golden checksum suite and
+	// the serial-vs-parallel equivalence matrix enforce it — so this knob
+	// trades wall-clock time only.
+	SimWorkers int
 }
 
 // TickPoint is one tick of the run's tick-time series (Figure 9 data).
@@ -101,6 +107,7 @@ func Run(spec RunSpec) RunResult {
 	scfg := server.DefaultConfig(spec.Flavor)
 	scfg.Seed = spec.Seed
 	scfg.ClientTimeout = spec.Env.ConnTimeout
+	scfg.SimWorkers = spec.SimWorkers
 	s := server.New(w, scfg, machine, clock)
 	if err := workload.Install(s, spec.Workload); err != nil {
 		return RunResult{Crashed: true, CrashReason: err.Error()}

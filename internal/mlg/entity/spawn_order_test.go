@@ -1,0 +1,59 @@
+package entity
+
+// Spawn-order determinism guard: the region-parallel simulation buffers the
+// terrain rules' spawn requests and replays them in the reconstructed
+// serial order, relying on the store assigning IDs and consuming its RNG
+// strictly in call order. If spawning ever becomes order-insensitive (ID
+// hashing, deferred batching), the parallel merge's bit-equality argument
+// breaks — this test makes that assumption explicit.
+
+import (
+	"testing"
+
+	"repro/internal/mlg/world"
+)
+
+func TestSpawnOrderDeterminesIDsAndVelocities(t *testing.T) {
+	build := func() *World {
+		w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+		w.EnsureArea(world.Pos{X: 8, Z: 8}, 1)
+		return NewWorld(w, DefaultConfig(), 99)
+	}
+	requests := []func(*World){
+		func(ew *World) { ew.SpawnItem(world.Pos{X: 1, Y: 12, Z: 1}, world.Cobblestone) },
+		func(ew *World) { ew.SpawnPrimedTNT(world.Pos{X: 2, Y: 12, Z: 2}, 40) },
+		func(ew *World) { ew.SpawnItem(world.Pos{X: 3, Y: 12, Z: 3}, world.Kelp) },
+		func(ew *World) { ew.SpawnMob(world.Pos{X: 4, Y: 12, Z: 4}) },
+		func(ew *World) { ew.SpawnItem(world.Pos{X: 5, Y: 12, Z: 5}, world.Gravel) },
+	}
+
+	// Identical call order → identical IDs and RNG-derived velocities.
+	a, b := build(), build()
+	for _, req := range requests {
+		req(a)
+		req(b)
+	}
+	if a.Count() != b.Count() {
+		t.Fatalf("population %d vs %d", a.Count(), b.Count())
+	}
+	a.Entities(func(ea *Entity) {
+		eb := b.Get(ea.ID)
+		if eb == nil || ea.Kind != eb.Kind || ea.Pos != eb.Pos || ea.Vel != eb.Vel {
+			t.Fatalf("entity %d diverged between identical call orders", ea.ID)
+		}
+	})
+
+	// Swapped call order → different ID assignment (the sensitivity the
+	// parallel merge must preserve, not erase).
+	c := build()
+	for i := len(requests) - 1; i >= 0; i-- {
+		requests[i](c)
+	}
+	first := c.Get(1)
+	if first == nil {
+		t.Fatal("no entity with ID 1")
+	}
+	if first.Kind == Item && first.ItemType == world.Cobblestone {
+		t.Fatal("reversed spawn order still assigned ID 1 to the first-ordered request")
+	}
+}

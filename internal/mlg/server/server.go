@@ -32,6 +32,11 @@ type Config struct {
 	ClientTimeout time.Duration
 	// KeepAliveEvery is the keep-alive broadcast period (default 5 s).
 	KeepAliveEvery time.Duration
+	// SimWorkers is the terrain-simulation drain parallelism: 0 means
+	// GOMAXPROCS, 1 forces the legacy serial drain (the differential-testing
+	// baseline). Any value produces bit-identical simulation output; see
+	// sim.Config.SimWorkers.
+	SimWorkers int
 }
 
 // DefaultConfig returns a server configuration for the given flavor.
@@ -103,6 +108,16 @@ type TickRecord struct {
 	Entities   int
 	Backlog    int
 	Crashed    bool
+	// Sim is the tick's raw terrain-simulation counters (including any
+	// explosion work routed back after the entity phase) — the quantity the
+	// serial-vs-parallel equivalence matrix compares tick by tick.
+	Sim sim.Counters
+	// SimRegions and SimParallel attribute the tick's drain schedule: how
+	// many independent regions the update queues partitioned into, and
+	// whether the drains actually ran on the worker pool (false = serial
+	// path or rolled-back parallel attempt).
+	SimRegions  int
+	SimParallel bool
 }
 
 // NetTotals aggregates outbound traffic for Table 8.
@@ -225,7 +240,9 @@ func New(w *world.World, cfg Config, machine *env.Machine, clock env.Clock) *Ser
 		stopped:       make(chan struct{}),
 	}
 	s.ents = entity.NewWorld(w, cfg.Flavor.EntityConfig(), cfg.Seed+1)
-	s.engine = sim.New(w, s.ents, cfg.Flavor.SimConfig(), cfg.Seed+2)
+	simCfg := cfg.Flavor.SimConfig()
+	simCfg.SimWorkers = cfg.SimWorkers
+	s.engine = sim.New(w, s.ents, simCfg, cfg.Seed+2)
 	w.OnChange(func(p world.Pos, old, new world.Block) {
 		if len(s.blockChanges) < 20000 {
 			s.blockChanges = append(s.blockChanges, protocol.BlockChange{
@@ -412,7 +429,13 @@ func (s *Server) TickNumber() int64 {
 // the tick's record.
 func (s *Server) Tick() TickRecord {
 	start := s.clock.Now()
+	// The increment is fenced by s.mu: concurrent TickNumber readers take
+	// the mutex, and an unfenced write here is a data race with them. Later
+	// reads of s.tick in this method stay unfenced — only this goroutine
+	// writes it.
+	s.mu.Lock()
 	s.tick++
+	s.mu.Unlock()
 	var counts tickCounts
 	var wallStart time.Time
 	if s.machine == nil {
@@ -505,17 +528,21 @@ func (s *Server) Tick() TickRecord {
 	s.fig11.WaitBeforeUS += float64(waitBefore) / float64(time.Microsecond)
 	s.fig11.WaitAfterUS += float64(waitAfter) / float64(time.Microsecond)
 
+	ps := s.engine.ParallelStats()
 	rec := TickRecord{
-		Tick:       s.tick,
-		Start:      start,
-		Dur:        dur,
-		WaitBefore: waitBefore,
-		WaitAfter:  waitAfter,
-		Work:       work,
-		Players:    len(s.players),
-		Entities:   s.ents.Count(),
-		Backlog:    counts.sim.Backlog,
-		Crashed:    crashed,
+		Tick:        s.tick,
+		Start:       start,
+		Dur:         dur,
+		WaitBefore:  waitBefore,
+		WaitAfter:   waitAfter,
+		Work:        work,
+		Players:     len(s.players),
+		Entities:    s.ents.Count(),
+		Backlog:     counts.sim.Backlog,
+		Crashed:     crashed,
+		Sim:         counts.sim,
+		SimRegions:  ps.LastRegions,
+		SimParallel: ps.LastParallel,
 	}
 	s.records = append(s.records, rec)
 	s.mu.Unlock()

@@ -14,6 +14,7 @@ package server_test
 // to compare before/after an engine change.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -33,8 +34,16 @@ func benchClock() *env.VirtualClock {
 }
 
 func newBenchServer(f server.Flavor, w *world.World) *server.Server {
+	return newBenchServerWorkers(f, w, 1)
+}
+
+// newBenchServerWorkers pins the terrain-simulation drain parallelism: the
+// serial benchmarks stay at 1 so engine-level optimizations keep a fixed
+// baseline, and the SimWorkers sweep (BenchmarkTickParallel) varies it.
+func newBenchServerWorkers(f server.Flavor, w *world.World, simWorkers int) *server.Server {
 	m := env.NewMachine(env.DAS5SixteenCore, 1)
 	cfg := server.DefaultConfig(f)
+	cfg.SimWorkers = simWorkers
 	return server.New(w, cfg, m, benchClock())
 }
 
@@ -102,6 +111,75 @@ func setupPlayers(b *testing.B) *server.Server {
 		s.Tick()
 	}
 	return s
+}
+
+// setupScaledWorkload builds a construct workload at the given scale and
+// drain parallelism, warmed until its constructs settle. Scale >= 2 lays
+// out that many separated construct clusters (independent simulation
+// regions), which is what the SimWorkers sweep parallelizes over.
+func setupScaledWorkload(b *testing.B, k workload.Kind, scale, simWorkers, players, warmTicks int) *server.Server {
+	b.Helper()
+	s := newBenchServerWorkers(server.Vanilla, workload.NewWorld(k, world.PaperControlSeed), simWorkers)
+	spec := k.DefaultSpec()
+	spec.Scale = scale
+	if k == workload.TNT {
+		spec.IgniteAfterTicks = 2
+	}
+	if err := workload.Install(s, spec); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < players; i++ {
+		s.Connect("bench")
+	}
+	if k == workload.TNT {
+		workload.Arm(s, spec)
+		for i := 0; i < 400 && s.EntityWorld().Count() < 1500*scale; i++ {
+			s.Tick()
+		}
+		return s
+	}
+	for i := 0; i < warmTicks; i++ {
+		s.Tick()
+	}
+	return s
+}
+
+// BenchmarkTickParallel is the SimWorkers sweep over the scale>=2 construct
+// workloads — the serial-vs-parallel tick benchmark recorded in
+// BENCH_4.json. The workers=1 runs are the legacy serial drain; speedup at
+// workers=N requires >= N available cores and >= N construct clusters
+// (regions), so interpret the sweep together with the host's GOMAXPROCS
+// (the -cpu suffix in the raw output).
+func BenchmarkTickParallel(b *testing.B) {
+	scenarios := []struct {
+		name  string
+		kind  workload.Kind
+		scale int
+		warm  int
+	}{
+		{"Lag2", workload.Lag, 2, 100},
+		{"Farm4", workload.Farm, 4, 300},
+		{"TNT2", workload.TNT, 2, 0},
+	}
+	for _, sc := range scenarios {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers%d", sc.name, workers), func(b *testing.B) {
+				var regions int
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					s := setupScaledWorkload(b, sc.kind, sc.scale, workers, 1, sc.warm)
+					b.StartTimer()
+					for t := 0; t < measuredTicks; t++ {
+						rec := s.Tick()
+						if rec.SimRegions > regions {
+							regions = rec.SimRegions
+						}
+					}
+				}
+				b.ReportMetric(float64(regions), "regions")
+			})
+		}
+	}
 }
 
 // BenchmarkTick measures one game tick per workload at paper scale.

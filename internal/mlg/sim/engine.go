@@ -12,10 +12,16 @@
 // run on redstone ticks (every second game tick), which is what makes
 // redstone-heavy constructs alternate between heavy and light game ticks —
 // the mechanism behind the Lag workload's extreme Instability Ratio (§5.3).
+//
+// The engine can drain independent simulation regions on a worker pool
+// (Config.SimWorkers); region.go builds the partition and parallel.go proves
+// the schedule equivalent to the serial drain by reconstructing the global
+// update order at merge time. SimWorkers <= 1 keeps the legacy serial path.
 package sim
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"repro/internal/mlg/world"
@@ -87,6 +93,13 @@ type Config struct {
 	ItemDropChance float64
 	// SpawnerIntervalTicks is the mob-spawner period.
 	SpawnerIntervalTicks int
+	// SimWorkers is the number of goroutines draining independent simulation
+	// regions per tick. 0 means GOMAXPROCS; 1 keeps the legacy serial drain
+	// (the differential-testing baseline). Whatever the value, results are
+	// bit-identical to the serial drain: parallel.go merges region output in
+	// the reconstructed serial order and falls back to the serial path when
+	// a tick cannot be proven independent.
+	SimWorkers int
 }
 
 // DefaultConfig returns vanilla-like settings.
@@ -130,6 +143,9 @@ type Engine struct {
 	ents EntityOps
 	rng  *rand.Rand
 	cfg  Config
+	seed int64
+	// workers is the resolved SimWorkers value (0 → GOMAXPROCS at creation).
+	workers int
 
 	tick int64
 	// pending is the neighbour-update queue for the current/next game tick.
@@ -159,9 +175,109 @@ type Engine struct {
 	// engine itself mutates blocks in bulk (explosions handle their own
 	// propagation).
 	suppress bool
+	// merging marks the parallel-merge replay: region drains already queued
+	// their own cascades, so the change listener must only maintain the
+	// spawner/hopper sets while buffered events are re-emitted to the
+	// world's other listeners.
+	merging bool
+
+	// root is the engine's own execution context: the serial drains, random
+	// ticks and explosions all run through it, reading and writing the
+	// engine fields above exactly as the pre-region-split engine did.
+	root exec
+
+	// Parallel-schedule scratch, reused across ticks: the dirty-chunk map,
+	// the initial virtual-queue tag buffers, and pooled region shells.
+	dirtyScratch map[world.ChunkPos]int32
+	vpScratch    []int32
+	vrScratch    []int32
+	regionPool   []*regionRun
+
+	// Parallel-schedule attribution (see ParallelStats).
+	lastRegions   int
+	lastParallel  bool
+	parallelTicks int64
+	fallbackTicks int64
+	// serialHold suppresses parallel attempts for a few ticks after a
+	// rolled-back one: an escaping cascade usually keeps escaping on the
+	// following ticks, and every aborted attempt costs a full drain plus
+	// rollback on top of the serial re-run. Tick-count based, so scheduling
+	// stays deterministic.
+	serialHold int
 
 	// ItemsCollected counts hopper absorptions for farm-throughput reports.
 	ItemsCollected int64
+}
+
+// exec is one drain-execution context. The engine's root context aliases the
+// engine's own queues, counters and chunk cache (the legacy serial path); a
+// region context owns region-local queues and buffers every externally
+// visible effect (entity spawns, future schedules, listener events) for the
+// deterministic merge. Rule code is written once against exec, so the serial
+// and parallel paths cannot drift apart.
+type exec struct {
+	e        *Engine
+	wc       *world.ChunkCache
+	counters *Counters
+	pending  *[]scheduledUpdate
+	redstone *[]scheduledUpdate
+	wireSeen map[world.Pos]int64
+	// rng is the context's random stream. The root context aliases the
+	// engine RNG. Region contexts derive a stream from the world seed and
+	// region key (world.RegionSeed) lazily via rand(); no current drain rule
+	// draws randomness, and any future rule that does must consume the
+	// region stream on BOTH paths or force the serial fallback — drawing
+	// from the shared engine RNG inside a region would make consumption
+	// order depend on worker scheduling.
+	rng    *rand.Rand
+	region *regionRun // nil for the engine's root (serial) context
+}
+
+// rand returns the context's RNG, deriving the region stream on first use.
+func (x *exec) rand() *rand.Rand {
+	if x.rng == nil {
+		x.rng = rand.New(rand.NewSource(world.RegionSeed(x.e.seed, x.region.key)))
+	}
+	return x.rng
+}
+
+// setBlock stores a block through the context: the root context goes through
+// the world (listeners fire synchronously, exactly as before); a region
+// context writes the chunk directly under the exclusive phase and records
+// the undo entry plus the replayable change event.
+func (x *exec) setBlock(p world.Pos, b world.Block) {
+	if r := x.region; r != nil {
+		r.setBlock(x, p, b)
+		return
+	}
+	x.e.w.SetBlock(p, b)
+}
+
+// spawnPrimedTNT, spawnItem and spawnMob route entity-spawn requests: direct
+// on the root context, buffered as ordered events on a region context so the
+// entity store's IDs and RNG are consumed in the reconstructed serial order.
+func (x *exec) spawnPrimedTNT(p world.Pos, fuseTicks int) {
+	if r := x.region; r != nil {
+		r.events = append(r.events, event{kind: evSpawnTNT, pos: p, i1: int64(fuseTicks)})
+		return
+	}
+	x.e.ents.SpawnPrimedTNT(p, fuseTicks)
+}
+
+func (x *exec) spawnItem(p world.Pos, item world.BlockID) {
+	if r := x.region; r != nil {
+		r.events = append(r.events, event{kind: evSpawnItem, pos: p, i1: int64(item)})
+		return
+	}
+	x.e.ents.SpawnItem(p, item)
+}
+
+func (x *exec) spawnMob(p world.Pos) {
+	if r := x.region; r != nil {
+		r.events = append(r.events, event{kind: evSpawnMob, pos: p})
+		return
+	}
+	x.e.ents.SpawnMob(p)
 }
 
 // New creates an engine bound to the world and entity store, seeded
@@ -173,10 +289,24 @@ func New(w *world.World, ents EntityOps, cfg Config, seed int64) *Engine {
 		ents:      ents,
 		rng:       rand.New(rand.NewSource(seed)),
 		cfg:       cfg,
+		seed:      seed,
 		scheduled: make(map[int64][]scheduledUpdate),
 		spawners:  make(map[world.Pos]struct{}),
 		hoppers:   make(map[world.Pos]struct{}),
 		wireSeen:  make(map[world.Pos]int64),
+	}
+	e.workers = cfg.SimWorkers
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	e.root = exec{
+		e:        e,
+		wc:       &e.wc,
+		counters: &e.counters,
+		pending:  &e.pending,
+		redstone: &e.redstonePending,
+		wireSeen: e.wireSeen,
+		rng:      e.rng,
 	}
 	w.OnChange(e.onBlockChange)
 	return e
@@ -189,8 +319,13 @@ func (e *Engine) onBlockChange(p world.Pos, old, new world.Block) {
 		return
 	}
 	e.trackSpecial(p, new)
-	e.queueNeighbors(p)
-	e.notifyObservers(p)
+	if e.merging {
+		// Parallel-merge replay: the region drains queued their own
+		// cascades; only the spawner/hopper bookkeeping above applies.
+		return
+	}
+	e.root.queueNeighbors(p)
+	e.root.notifyObservers(p)
 }
 
 // trackSpecial maintains the spawner/hopper position sets.
@@ -220,31 +355,31 @@ func (e *Engine) trackSpecial(p world.Pos, b world.Block) {
 
 // queueNeighbors enqueues rule re-evaluation for a position's six
 // neighbours and itself. Logic components go on the redstone queue.
-func (e *Engine) queueNeighbors(p world.Pos) {
-	e.enqueue(scheduledUpdate{pos: p, kind: updateNeighbor})
+func (x *exec) queueNeighbors(p world.Pos) {
+	x.enqueue(scheduledUpdate{pos: p, kind: updateNeighbor})
 	for _, n := range p.Neighbors6() {
-		e.enqueue(scheduledUpdate{pos: n, kind: updateNeighbor})
+		x.enqueue(scheduledUpdate{pos: n, kind: updateNeighbor})
 	}
 }
 
-func (e *Engine) enqueue(u scheduledUpdate) {
-	b, loaded := e.wc.BlockIfLoaded(u.pos)
+func (x *exec) enqueue(u scheduledUpdate) {
+	b, loaded := x.wc.BlockIfLoaded(u.pos)
 	if !loaded {
 		return
 	}
 	if b.IsRedstoneComponent() {
-		e.redstonePending = append(e.redstonePending, u)
+		*x.redstone = append(*x.redstone, u)
 	} else {
-		e.pending = append(e.pending, u)
+		*x.pending = append(*x.pending, u)
 	}
 }
 
 // notifyObservers pulses any observer watching the changed position.
-func (e *Engine) notifyObservers(changed world.Pos) {
+func (x *exec) notifyObservers(changed world.Pos) {
 	for _, d := range []world.Direction{world.DirUp, world.DirDown, world.DirNorth,
 		world.DirSouth, world.DirEast, world.DirWest} {
 		op := d.Move(changed)
-		b, loaded := e.wc.BlockIfLoaded(op)
+		b, loaded := x.wc.BlockIfLoaded(op)
 		if !loaded || b.ID != world.Observer {
 			continue
 		}
@@ -253,30 +388,38 @@ func (e *Engine) notifyObservers(changed world.Pos) {
 		// neighbour updates, so an observer's own pulse block-change cannot
 		// retrigger it.
 		if b.Facing().Move(op) == changed && !b.ObserverPulsing() {
-			e.redstonePending = append(e.redstonePending,
+			*x.redstone = append(*x.redstone,
 				scheduledUpdate{pos: op, kind: updateObserverFire})
 		}
 	}
 }
 
 // schedule queues an update for delayTicks game ticks in the future.
-func (e *Engine) schedule(p world.Pos, delayTicks int, kind updateKind) {
-	e.scheduleVal(p, delayTicks, kind, 0)
+func (x *exec) schedule(p world.Pos, delayTicks int, kind updateKind) {
+	x.scheduleVal(p, delayTicks, kind, 0)
 }
 
-// scheduleVal queues an update carrying a latched value.
-func (e *Engine) scheduleVal(p world.Pos, delayTicks int, kind updateKind, val uint8) {
-	due := e.tick + int64(delayTicks)
-	if due <= e.tick {
-		due = e.tick + 1
+// scheduleVal queues an update carrying a latched value. Region contexts
+// buffer the request as an ordered event; the merge appends them to the
+// engine's schedule in the reconstructed serial order, so next-tick
+// processing order matches the serial drain exactly.
+func (x *exec) scheduleVal(p world.Pos, delayTicks int, kind updateKind, val uint8) {
+	due := x.e.tick + int64(delayTicks)
+	if due <= x.e.tick {
+		due = x.e.tick + 1
 	}
-	e.scheduled[due] = append(e.scheduled[due], scheduledUpdate{pos: p, kind: kind, val: val})
+	if r := x.region; r != nil {
+		r.events = append(r.events,
+			event{kind: evSchedule, pos: p, i1: due, upd: kind, val: val})
+		return
+	}
+	x.e.scheduled[due] = append(x.e.scheduled[due], scheduledUpdate{pos: p, kind: kind, val: val})
 }
 
 // ScheduleIgnite queues TNT ignition at p after delayTicks — used by
 // workload worlds to set off the TNT cuboid ~20 s after start.
 func (e *Engine) ScheduleIgnite(p world.Pos, delayTicks int) {
-	e.schedule(p, delayTicks, updateIgnite)
+	e.root.schedule(p, delayTicks, updateIgnite)
 }
 
 // Sub returns the component-wise difference c - o, used to attribute the
@@ -327,14 +470,25 @@ func (e *Engine) Tick() Counters {
 		budget = 200_000
 	}
 
-	// Drain the plain neighbour queue. Updates whose target turned into a
-	// logic component since they were enqueued are re-routed to the redstone
-	// queue at drain time.
-	budget = e.drain(&e.pending, budget, false)
+	// Drain the queues: on a region-parallel schedule when the tick's
+	// updates partition into independent regions, else serially. The
+	// parallel path rolls itself back and reports false if the tick turns
+	// out not to be independent (cross-region cascade, budget pressure), so
+	// the serial drain below is both the SimWorkers<=1 legacy path and the
+	// universal fallback.
+	if !e.tryParallelDrains(budget) {
+		// Drain the plain neighbour queue. Updates whose target turned into
+		// a logic component since they were enqueued are re-routed to the
+		// redstone queue at drain time.
+		budget = e.root.drain(&e.pending, budget, false)
 
-	// Redstone tick: logic components evaluate every second game tick.
+		// Redstone tick: logic components evaluate every second game tick.
+		if e.tick%2 == 0 {
+			e.root.drain(&e.redstonePending, budget, true)
+		}
+	}
+
 	if e.tick%2 == 0 {
-		budget = e.drain(&e.redstonePending, budget, true)
 		e.tickSpawners()
 		e.tickHoppers()
 		e.purgeWireSeen()
@@ -355,19 +509,19 @@ func (e *Engine) Tick() Counters {
 // within the tick, budget permitting). When redstoneAllowed is false,
 // updates targeting logic components are deferred to the redstone queue
 // instead of applied, preserving the every-other-tick redstone cadence.
-func (e *Engine) drain(queue *[]scheduledUpdate, budget int, redstoneAllowed bool) int {
+func (x *exec) drain(queue *[]scheduledUpdate, budget int, redstoneAllowed bool) int {
 	for len(*queue) > 0 && budget > 0 {
 		q := *queue
 		u := q[0]
 		*queue = q[1:]
 		if !redstoneAllowed {
-			if b, loaded := e.wc.BlockIfLoaded(u.pos); loaded && b.IsRedstoneComponent() {
-				e.redstonePending = append(e.redstonePending, u)
+			if b, loaded := x.wc.BlockIfLoaded(u.pos); loaded && b.IsRedstoneComponent() {
+				*x.redstone = append(*x.redstone, u)
 				continue
 			}
 		}
 		budget--
-		e.apply(u)
+		x.apply(u)
 	}
 	return budget
 }
@@ -392,6 +546,35 @@ func (e *Engine) TickNumber() int64 { return e.tick }
 
 // PendingUpdates returns the size of the live update backlog.
 func (e *Engine) PendingUpdates() int { return len(e.pending) + len(e.redstonePending) }
+
+// ParallelStats describes how the engine has been scheduling its drains —
+// the cost-model attribution surface for the server's tick records.
+type ParallelStats struct {
+	// Workers is the resolved worker count (SimWorkers, or GOMAXPROCS).
+	Workers int
+	// LastRegions is the region count of the last attempted partition (0
+	// when the last tick never partitioned).
+	LastRegions int
+	// LastParallel reports whether the last tick's drains ran on the
+	// region-parallel schedule.
+	LastParallel bool
+	// ParallelTicks counts ticks drained in parallel; FallbackTicks counts
+	// ticks where a parallel attempt aborted (escape or budget pressure)
+	// and was rolled back to the serial drain.
+	ParallelTicks int64
+	FallbackTicks int64
+}
+
+// ParallelStats returns the engine's scheduling attribution counters.
+func (e *Engine) ParallelStats() ParallelStats {
+	return ParallelStats{
+		Workers:       e.workers,
+		LastRegions:   e.lastRegions,
+		LastParallel:  e.lastParallel,
+		ParallelTicks: e.parallelTicks,
+		FallbackTicks: e.fallbackTicks,
+	}
+}
 
 // tickSpawners activates spawner blocks on their period.
 func (e *Engine) tickSpawners() {
@@ -465,6 +648,8 @@ func sortedPositions(set map[world.Pos]struct{}) []world.Pos {
 // applies growth rules to them. Sampling reads straight off each chunk
 // (LoadedChunkRefs) — with thousands of loaded chunks this pass would
 // otherwise pay a world-lock acquisition and chunk-map lookup per sample.
+// It always runs on the root context: the samples consume the engine RNG in
+// loaded-chunk order, a serial dependency chain by construction.
 func (e *Engine) randomTicks() {
 	rate := e.cfg.RandomTickRate
 	if rate <= 0 {
@@ -478,7 +663,7 @@ func (e *Engine) randomTicks() {
 			y := e.rng.Intn(world.Height)
 			lz := e.rng.Intn(world.ChunkSize)
 			p := world.Pos{X: origin.X + lx, Y: y, Z: origin.Z + lz}
-			e.applyGrowth(p, c.At(lx, y, lz))
+			e.root.applyGrowth(p, c.At(lx, y, lz))
 		}
 	}
 }

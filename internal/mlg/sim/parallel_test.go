@@ -1,0 +1,283 @@
+package sim
+
+// Engine-level serial-vs-parallel differential tests: two engines over
+// identically constructed worlds, one with SimWorkers=1 (legacy serial
+// drain) and one with SimWorkers=4, must stay bit-identical — world
+// contents, per-tick counters, queue backlogs, spawn requests and schedule
+// state. These are the fine-grained companions to the workload-level
+// equivalence matrix in internal/core and internal/mlg/server.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/mlg/world"
+)
+
+// worldChecksum hashes every loaded chunk's contents in deterministic order.
+func worldChecksum(w *world.World) uint64 {
+	h := fnv.New64a()
+	for _, c := range w.LoadedChunkRefs() {
+		fmt.Fprintf(h, "%v:", c.Pos)
+		for y := 0; y < world.Height; y++ {
+			for lz := 0; lz < world.ChunkSize; lz++ {
+				for lx := 0; lx < world.ChunkSize; lx++ {
+					b := c.At(lx, y, lz)
+					if !b.IsAir() {
+						fmt.Fprintf(h, "%d,%d,%d=%d/%d;", lx, y, lz, b.ID, b.Meta)
+					}
+				}
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// orderedEnts records every entity operation in call order, so spawn-order
+// divergence between schedules is directly visible.
+type orderedEnts struct {
+	ops []string
+}
+
+func (m *orderedEnts) SpawnPrimedTNT(p world.Pos, fuse int) {
+	m.ops = append(m.ops, fmt.Sprintf("tnt%v/%d", p, fuse))
+}
+func (m *orderedEnts) SpawnItem(p world.Pos, item world.BlockID) {
+	m.ops = append(m.ops, fmt.Sprintf("item%v/%d", p, item))
+}
+func (m *orderedEnts) SpawnMob(p world.Pos) {
+	m.ops = append(m.ops, fmt.Sprintf("mob%v", p))
+}
+func (m *orderedEnts) CollectItems(p world.Pos, r float64) int {
+	m.ops = append(m.ops, fmt.Sprintf("collect%v", p))
+	return 1
+}
+
+// buildBusyWorld installs several spatially separated active constructs —
+// enough queued updates per tick to clear the parallel threshold, in
+// clusters far enough apart to partition into multiple regions.
+func buildBusyWorld(w *world.World) {
+	// Three clusters, 16 chunks apart in X.
+	for cluster := 0; cluster < 3; cluster++ {
+		ox := cluster * 256
+		y := 11
+		// A powered wire mesh that keeps recomputing: an observer pair
+		// (self-sustaining pulser) drives a 12x8 wire field.
+		a := world.Pos{X: ox + 20, Y: y, Z: 8}
+		b := a.East()
+		for dz := 0; dz < 8; dz++ {
+			for dx := 0; dx < 12; dx++ {
+				w.SetBlock(world.Pos{X: ox + 4 + dx, Y: y, Z: 4 + dz}, world.B(world.RedstoneWire))
+			}
+		}
+		w.SetBlock(a, world.B(world.Observer).WithFacing(world.DirEast))
+		w.SetBlock(b, world.B(world.Observer).WithFacing(world.DirWest))
+		// Fluids: a water source dropped on the platform keeps spreading
+		// and drying as the cascade evolves.
+		w.SetBlock(world.Pos{X: ox + 8, Y: y + 3, Z: 20}, world.B(world.Water))
+		// Gravity: a sand stack.
+		for dy := 0; dy < 6; dy++ {
+			w.SetBlock(world.Pos{X: ox + 30, Y: y + 4 + dy, Z: 30}, world.B(world.Sand))
+		}
+		// TNT with power applied so ignition spawns entities.
+		w.SetBlock(world.Pos{X: ox + 34, Y: y, Z: 8}, world.B(world.TNT))
+		w.SetBlock(world.Pos{X: ox + 35, Y: y, Z: 8}, world.B(world.RedstoneBlock))
+		// A harvesting piston clock (stone farm core).
+		slot := world.Pos{X: ox + 40, Y: y, Z: 16}
+		w.SetBlock(slot.North(), world.B(world.Water))
+		w.SetBlock(slot.South(), world.B(world.Lava))
+		w.SetBlock(slot.West(), world.B(world.Piston).WithFacing(world.DirEast))
+		w.SetBlock(slot.West().West(), world.B(world.RedstoneBlock))
+	}
+}
+
+func newDiffEngine(workers int) (*world.World, *Engine, *orderedEnts) {
+	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+	w.EnsureArea(world.Pos{X: 0, Y: 0, Z: 0}, 3)
+	w.EnsureArea(world.Pos{X: 256, Y: 0, Z: 8}, 3)
+	w.EnsureArea(world.Pos{X: 512, Y: 0, Z: 8}, 3)
+	ents := &orderedEnts{}
+	cfg := DefaultConfig()
+	cfg.SimWorkers = workers
+	e := New(w, ents, cfg, 42)
+	buildBusyWorld(w)
+	return w, e, ents
+}
+
+func TestParallelTickMatchesSerial(t *testing.T) {
+	ws, es, entsS := newDiffEngine(1)
+	wp, ep, entsP := newDiffEngine(4)
+
+	for tick := 0; tick < 80; tick++ {
+		cs, cp := es.Tick(), ep.Tick()
+		if cs != cp {
+			t.Fatalf("tick %d: counters diverged\nserial:   %+v\nparallel: %+v", tick+1, cs, cp)
+		}
+		if es.PendingUpdates() != ep.PendingUpdates() {
+			t.Fatalf("tick %d: backlog %d vs %d", tick+1, es.PendingUpdates(), ep.PendingUpdates())
+		}
+	}
+	if a, b := worldChecksum(ws), worldChecksum(wp); a != b {
+		t.Fatalf("world contents diverged: %#x vs %#x", a, b)
+	}
+	if a, b := fmt.Sprint(entsS.ops), fmt.Sprint(entsP.ops); a != b {
+		t.Fatalf("entity op sequences diverged:\nserial:   %s\nparallel: %s", a, b)
+	}
+	if got := ep.ParallelStats(); got.ParallelTicks == 0 {
+		t.Fatalf("parallel engine never took the parallel path: %+v", got)
+	}
+	if got := es.ParallelStats(); got.ParallelTicks != 0 {
+		t.Fatalf("serial engine took the parallel path: %+v", got)
+	}
+}
+
+// TestParallelEscapeFallsBackToSerial joins two active clusters with a long
+// descending water staircase. Releasing a water source at the top makes the
+// flow cascade down the whole staircase within single ticks (falling fluid
+// resets its spread level at every drop), crossing chunks that were quiet
+// at partition time — the cross-region effect that must be detected (write
+// outside the owned set), rolled back, and re-run serially, with results
+// identical to the pure-serial engine.
+func TestParallelEscapeFallsBackToSerial(t *testing.T) {
+	const top = 30
+	build := func(workers int) (*world.World, *Engine) {
+		w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+		w.EnsureArea(world.Pos{X: 0, Y: 0, Z: 0}, 3)
+		w.EnsureArea(world.Pos{X: 144, Y: 0, Z: 0}, 3)
+		cfg := DefaultConfig()
+		cfg.SimWorkers = workers
+		e := New(w, &orderedEnts{}, cfg, 7)
+		y := 11
+		// Two busy wire fields ~16 chunks apart...
+		for _, ox := range []int{0, 144} {
+			a := world.Pos{X: ox + 16, Y: y, Z: 8}
+			for dz := 0; dz < 8; dz++ {
+				for dx := 0; dx < 10; dx++ {
+					w.SetBlock(world.Pos{X: ox + 4 + dx, Y: y, Z: 4 + dz}, world.B(world.RedstoneWire))
+				}
+			}
+			w.SetBlock(a, world.B(world.Observer).WithFacing(world.DirEast))
+			w.SetBlock(a.East(), world.B(world.Observer).WithFacing(world.DirWest))
+		}
+		// ...joined by a walled staircase channel descending eastward: one
+		// floor drop every 4 blocks keeps the flow "falling", so it never
+		// dries out mid-channel.
+		sy := top
+		for x := 32; x < 96; x += 4 {
+			for i := 0; i < 4; i++ {
+				w.SetBlock(world.Pos{X: x + i, Y: sy, Z: 8}, world.B(world.Stone))
+				w.SetBlock(world.Pos{X: x + i, Y: sy + 1, Z: 7}, world.B(world.Glass))
+				w.SetBlock(world.Pos{X: x + i, Y: sy + 1, Z: 9}, world.B(world.Glass))
+				w.SetBlock(world.Pos{X: x + i, Y: sy + 2, Z: 7}, world.B(world.Glass))
+				w.SetBlock(world.Pos{X: x + i, Y: sy + 2, Z: 9}, world.B(world.Glass))
+			}
+			sy--
+		}
+		return w, e
+	}
+
+	ws, es := build(1)
+	wp, ep := build(4)
+	step := func(e *Engine, n int) {
+		for i := 0; i < n; i++ {
+			e.Tick()
+		}
+	}
+	step(es, 20)
+	step(ep, 20)
+	// Release the water at the top of the staircase.
+	ws.SetBlock(world.Pos{X: 32, Y: top + 1, Z: 8}, world.B(world.Water))
+	wp.SetBlock(world.Pos{X: 32, Y: top + 1, Z: 8}, world.B(world.Water))
+	step(es, 20)
+	step(ep, 20)
+
+	if a, b := worldChecksum(ws), worldChecksum(wp); a != b {
+		t.Fatalf("world contents diverged after escape: %#x vs %#x", a, b)
+	}
+	if got := ep.ParallelStats(); got.FallbackTicks == 0 {
+		t.Fatalf("escape scenario never exercised the rollback path: %+v", got)
+	}
+}
+
+// TestParallelMidDrainBudgetOverflow: the tick-start guard admits queues
+// smaller than MaxUpdatesPerTick, but cascades can grow past the cap
+// mid-drain. The merge replay must detect that the serial drain would have
+// stopped popping (including pops that only re-route), abort, roll back and
+// re-run serially — bit-identically to the pure-serial engine, which
+// defers the overflow to later ticks.
+func TestParallelMidDrainBudgetOverflow(t *testing.T) {
+	build := func(workers int) (*world.World, *Engine) {
+		w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+		w.EnsureArea(world.Pos{X: 0, Y: 0, Z: 0}, 2)
+		w.EnsureArea(world.Pos{X: 256, Y: 0, Z: 0}, 2)
+		cfg := DefaultConfig()
+		cfg.SimWorkers = workers
+		cfg.MaxUpdatesPerTick = 130
+		e := New(w, &orderedEnts{}, cfg, 11)
+		// 2 x 8 floating sand blocks: 112 queued updates at tick start
+		// (under the 130 cap, so the parallel attempt starts), but the
+		// fall cascade multiplies applied updates past the cap mid-drain.
+		for _, ox := range []int{0, 256} {
+			for i := 0; i < 8; i++ {
+				w.SetBlock(world.Pos{X: ox + 2*i, Y: 20, Z: 4}, world.B(world.Sand))
+			}
+		}
+		return w, e
+	}
+	ws, es := build(1)
+	wp, ep := build(4)
+	for tick := 0; tick < 50; tick++ {
+		cs, cp := es.Tick(), ep.Tick()
+		if cs != cp {
+			t.Fatalf("tick %d: counters diverged after mid-drain overflow\nserial:   %+v\nparallel: %+v",
+				tick+1, cs, cp)
+		}
+		if es.PendingUpdates() != ep.PendingUpdates() {
+			t.Fatalf("tick %d: backlog %d vs %d", tick+1, es.PendingUpdates(), ep.PendingUpdates())
+		}
+	}
+	if a, b := worldChecksum(ws), worldChecksum(wp); a != b {
+		t.Fatalf("world contents diverged: %#x vs %#x", a, b)
+	}
+	if got := ep.ParallelStats(); got.FallbackTicks == 0 {
+		t.Fatalf("overflow scenario never exercised the budget rollback: %+v", got)
+	}
+}
+
+// TestParallelBudgetPressureStaysSerial: when the queued updates approach
+// MaxUpdatesPerTick, the cap's deferral order is order-dependent, so the
+// engine must not attempt the parallel schedule — and results must match
+// the serial engine exactly.
+func TestParallelBudgetPressureStaysSerial(t *testing.T) {
+	build := func(workers int) (*world.World, *Engine) {
+		w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+		w.EnsureArea(world.Pos{X: 0, Y: 0, Z: 0}, 3)
+		w.EnsureArea(world.Pos{X: 144, Y: 0, Z: 0}, 3)
+		cfg := DefaultConfig()
+		cfg.SimWorkers = workers
+		cfg.MaxUpdatesPerTick = 40
+		e := New(w, &orderedEnts{}, cfg, 9)
+		for _, ox := range []int{0, 256} {
+			for i := 0; i < 30; i++ {
+				w.SetBlock(world.Pos{X: ox + i, Y: 20, Z: 4}, world.B(world.Sand))
+			}
+		}
+		return w, e
+	}
+	ws, es := build(1)
+	wp, ep := build(4)
+	for tick := 0; tick < 60; tick++ {
+		cs, cp := es.Tick(), ep.Tick()
+		if cs != cp {
+			t.Fatalf("tick %d: counters diverged under budget pressure\nserial:   %+v\nparallel: %+v",
+				tick+1, cs, cp)
+		}
+	}
+	if a, b := worldChecksum(ws), worldChecksum(wp); a != b {
+		t.Fatalf("world contents diverged: %#x vs %#x", a, b)
+	}
+	if got := ep.ParallelStats(); got.ParallelTicks != 0 {
+		t.Fatalf("parallel path ran despite budget pressure: %+v", got)
+	}
+}

@@ -13,17 +13,17 @@ import "repro/internal/mlg/world"
 
 // isReceivingPower reports whether any neighbour powers the position.
 // Directional components (repeater, observer) only power along their facing.
-func (e *Engine) isReceivingPower(p world.Pos) bool {
-	return e.incomingPower(p) > 0
+func (x *exec) isReceivingPower(p world.Pos) bool {
+	return x.incomingPower(p) > 0
 }
 
 // incomingPower returns the strongest power level delivered to p.
-func (e *Engine) incomingPower(p world.Pos) uint8 {
+func (x *exec) incomingPower(p world.Pos) uint8 {
 	var best uint8
 	for _, d := range []world.Direction{world.DirUp, world.DirDown, world.DirNorth,
 		world.DirSouth, world.DirEast, world.DirWest} {
 		np := d.Move(p)
-		nb, loaded := e.wc.BlockIfLoaded(np)
+		nb, loaded := x.wc.BlockIfLoaded(np)
 		if !loaded {
 			continue
 		}
@@ -63,26 +63,26 @@ func (e *Engine) incomingPower(p world.Pos) uint8 {
 
 // updateWire recomputes a wire's power from its strongest input and
 // propagates the change to its neighbours via the world-change cascade.
-func (e *Engine) updateWire(p world.Pos, b world.Block) {
-	if e.cfg.RedstoneBatch {
+func (x *exec) updateWire(p world.Pos, b world.Block) {
+	if x.e.cfg.RedstoneBatch {
 		// Bump the per-tick evaluation count (checked in apply).
-		if v := e.wireSeen[p]; v>>2 == e.tick {
-			e.wireSeen[p] = v + 1
+		if v := x.wireSeen[p]; v>>2 == x.e.tick {
+			x.wireSeen[p] = v + 1
 		} else {
-			e.wireSeen[p] = e.tick << 2
+			x.wireSeen[p] = x.e.tick << 2
 		}
 	}
-	want := e.incomingPower(p)
+	want := x.incomingPower(p)
 	if want != b.Meta&0x0F {
-		e.w.SetBlock(p, world.Block{ID: world.RedstoneWire, Meta: want & 0x0F})
+		x.setBlock(p, world.Block{ID: world.RedstoneWire, Meta: want & 0x0F})
 	}
 }
 
 // updateTorch inverts the power state of the block the torch stands on:
 // powered base → torch off, unpowered base → torch lit.
-func (e *Engine) updateTorch(p world.Pos, b world.Block) {
+func (x *exec) updateTorch(p world.Pos, b world.Block) {
 	baseP := p.Down()
-	basePowered := e.incomingPower(baseP) > 0
+	basePowered := x.incomingPower(baseP) > 0
 	lit := b.Meta&1 != 0
 	if basePowered == lit {
 		nb := b
@@ -91,15 +91,15 @@ func (e *Engine) updateTorch(p world.Pos, b world.Block) {
 		} else {
 			nb.Meta |= 1
 		}
-		e.w.SetBlock(p, nb)
+		x.setBlock(p, nb)
 	}
 }
 
 // updateRepeater samples the repeater's input (the side opposite its
 // facing); a change schedules the output flip after the repeater's delay.
-func (e *Engine) updateRepeater(p world.Pos, b world.Block) {
+func (x *exec) updateRepeater(p world.Pos, b world.Block) {
 	inputPos := b.Facing().Opposite().Move(p)
-	inPowered := e.powerAt(inputPos, p)
+	inPowered := x.powerAt(inputPos, p)
 	if inPowered != b.RepeaterPowered() {
 		// The output change is latched now and applied after the delay,
 		// regardless of what the input does in between — otherwise two
@@ -108,27 +108,27 @@ func (e *Engine) updateRepeater(p world.Pos, b world.Block) {
 		if inPowered {
 			v = 1
 		}
-		e.scheduleVal(p, b.RepeaterDelay()*2, updateRepeaterFire, v) // delay in redstone ticks
+		x.scheduleVal(p, b.RepeaterDelay()*2, updateRepeaterFire, v) // delay in redstone ticks
 	}
 }
 
 // fireRepeater applies the latched output flip.
-func (e *Engine) fireRepeater(p world.Pos, val uint8) {
-	b, loaded := e.wc.BlockIfLoaded(p)
+func (x *exec) fireRepeater(p world.Pos, val uint8) {
+	b, loaded := x.wc.BlockIfLoaded(p)
 	if !loaded || b.ID != world.Repeater {
 		return
 	}
-	e.counters.RedstoneOps++
+	x.counters.RedstoneOps++
 	want := val != 0
 	if want != b.RepeaterPowered() {
-		e.w.SetBlock(p, b.WithRepeaterPowered(want))
+		x.setBlock(p, b.WithRepeaterPowered(want))
 	}
 }
 
 // powerAt reports whether the block at p emits or conducts power toward the
 // consumer at dst.
-func (e *Engine) powerAt(p, dst world.Pos) bool {
-	b, loaded := e.wc.BlockIfLoaded(p)
+func (x *exec) powerAt(p, dst world.Pos) bool {
+	b, loaded := x.wc.BlockIfLoaded(p)
 	if !loaded {
 		return false
 	}
@@ -145,30 +145,30 @@ func (e *Engine) powerAt(p, dst world.Pos) bool {
 // pulseObserver starts an observer's one-redstone-tick output pulse; the
 // pulse itself is a block change, so observers watching this observer fire
 // in turn — the feedback loop lag machines exploit.
-func (e *Engine) pulseObserver(p world.Pos, b world.Block) {
+func (x *exec) pulseObserver(p world.Pos, b world.Block) {
 	if b.ObserverPulsing() {
 		return
 	}
-	e.w.SetBlock(p, b.WithObserverPulse(true))
-	e.schedule(p, 2, updateObserverClear)
+	x.setBlock(p, b.WithObserverPulse(true))
+	x.schedule(p, 2, updateObserverClear)
 }
 
 // updatePiston extends a powered piston and schedules retraction of an
 // unpowered one. Extension into a harvestable block breaks it and drops an
 // item — the harvest mechanism of the Farm constructs.
-func (e *Engine) updatePiston(p world.Pos, b world.Block) {
-	powered := e.isReceivingPower(p)
+func (x *exec) updatePiston(p world.Pos, b world.Block) {
+	powered := x.isReceivingPower(p)
 	switch {
 	case powered && !b.PistonExtended():
-		e.extendPiston(p, b)
+		x.extendPiston(p, b)
 	case !powered && b.PistonExtended():
-		e.schedule(p, 2, updatePistonRetract)
+		x.schedule(p, 2, updatePistonRetract)
 	}
 }
 
-func (e *Engine) extendPiston(p world.Pos, b world.Block) {
+func (x *exec) extendPiston(p world.Pos, b world.Block) {
 	head := b.Facing().Move(p)
-	target, loaded := e.wc.BlockIfLoaded(head)
+	target, loaded := x.wc.BlockIfLoaded(head)
 	if !loaded {
 		return
 	}
@@ -179,39 +179,39 @@ func (e *Engine) extendPiston(p world.Pos, b world.Block) {
 		// Breaking a block drops its item. Harvesting kelp resets the age
 		// of the stalk below so the farm keeps producing (as players do by
 		// replanting).
-		e.counters.BlockRemoves++
-		e.ents.SpawnItem(head, harvestDrop(target.ID))
+		x.counters.BlockRemoves++
+		x.spawnItem(head, harvestDrop(target.ID))
 		if target.ID == world.Kelp {
-			if below, _ := e.wc.BlockIfLoaded(head.Down()); below.ID == world.Kelp {
-				e.w.SetBlock(head.Down(), world.Block{ID: world.Kelp, Meta: 0})
+			if below, _ := x.wc.BlockIfLoaded(head.Down()); below.ID == world.Kelp {
+				x.setBlock(head.Down(), world.Block{ID: world.Kelp, Meta: 0})
 			}
 		}
 	case target.IsSolid() && !immovable(target.ID):
 		// Push one block if there is room behind it.
 		dest := b.Facing().Move(head)
-		db, ok := e.wc.BlockIfLoaded(dest)
+		db, ok := x.wc.BlockIfLoaded(dest)
 		if !ok || !db.IsAir() {
 			return
 		}
-		e.counters.BlockAdds++
-		e.counters.BlockRemoves++
-		e.w.SetBlock(dest, target)
+		x.counters.BlockAdds++
+		x.counters.BlockRemoves++
+		x.setBlock(dest, target)
 	default:
 		return
 	}
-	e.counters.BlockAdds++
-	e.w.SetBlock(head, world.B(world.PistonHead).WithFacing(b.Facing()))
-	e.w.SetBlock(p, b.WithPistonExtended(true))
+	x.counters.BlockAdds++
+	x.setBlock(head, world.B(world.PistonHead).WithFacing(b.Facing()))
+	x.setBlock(p, b.WithPistonExtended(true))
 }
 
-func (e *Engine) retractPiston(p world.Pos, b world.Block) {
-	e.counters.RedstoneOps++
+func (x *exec) retractPiston(p world.Pos, b world.Block) {
+	x.counters.RedstoneOps++
 	head := b.Facing().Move(p)
-	if hb, _ := e.wc.BlockIfLoaded(head); hb.ID == world.PistonHead {
-		e.counters.BlockRemoves++
-		e.w.SetBlock(head, world.B(world.Air))
+	if hb, _ := x.wc.BlockIfLoaded(head); hb.ID == world.PistonHead {
+		x.counters.BlockRemoves++
+		x.setBlock(head, world.B(world.Air))
 	}
-	e.w.SetBlock(p, b.WithPistonExtended(false))
+	x.setBlock(p, b.WithPistonExtended(false))
 }
 
 // isHarvestable lists blocks a piston push breaks into an item drop.
@@ -246,12 +246,12 @@ func immovable(id world.BlockID) bool {
 
 // igniteTNT converts a TNT block into a primed TNT entity with the standard
 // 80-tick fuse (4 seconds).
-func (e *Engine) igniteTNT(p world.Pos) {
-	b, loaded := e.wc.BlockIfLoaded(p)
+func (x *exec) igniteTNT(p world.Pos) {
+	b, loaded := x.wc.BlockIfLoaded(p)
 	if !loaded || b.ID != world.TNT {
 		return
 	}
-	e.counters.BlockRemoves++
-	e.w.SetBlock(p, world.B(world.Air))
-	e.ents.SpawnPrimedTNT(p, 80)
+	x.counters.BlockRemoves++
+	x.setBlock(p, world.B(world.Air))
+	x.spawnPrimedTNT(p, 80)
 }

@@ -1,0 +1,193 @@
+package sim
+
+// Region partitioning for parallel terrain-simulation drains.
+//
+// A simulation region is a connected component of the tick's dirty chunks —
+// the chunk columns containing queued updates — where two dirty chunks are
+// connected when their Chebyshev chunk distance is at most regionLinkChunks.
+// Each region owns its core chunks plus a one-chunk halo ring; the region's
+// drain may write only inside that owned set.
+//
+// Safety argument for regionLinkChunks = 3:
+//   - cores of distinct regions are >= 4 chunks apart (else they would have
+//     merged), so their owned sets (core ⊕ 1 halo) are >= 2 chunks apart;
+//   - writes are confined to the owned set (a write outside it aborts the
+//     tick's parallel attempt — see regionRun.setBlock), so no chunk is
+//     ever written by two regions, and the >= 2-chunk gap between owned
+//     sets is written by nobody;
+//   - a single rule application reads at most ~3 blocks around its update
+//     position, so reads from a region's halo edge reach at most a fraction
+//     of the first gap chunk — memory no other region writes.
+// Together: region drains touch disjoint memory, and every read a region
+// performs outside its owned set observes quiescent (tick-start) state,
+// exactly what the serial drain would have observed.
+
+import (
+	"sort"
+
+	"repro/internal/mlg/world"
+)
+
+// regionLinkChunks is the Chebyshev chunk distance at which dirty chunks
+// merge into one region (see the package comment above for why 3).
+const regionLinkChunks = 3
+
+// minParallelUpdates is the queue size below which a parallel attempt is not
+// worth the partition + worker handoff cost and the tick drains serially.
+const minParallelUpdates = 32
+
+// partitionRegions groups the engine's queued updates into simulation
+// regions. It returns the regions sorted by key (minimal core chunk in
+// (Z, X) order — the same convention as World.LoadedChunks), plus the
+// initial virtual-queue tag sequences: vpInit[i] is the region index owning
+// e.pending[i], vrInit likewise for e.redstonePending; nComps is the
+// component count. When fewer than minRegions components exist, only
+// nComps is returned — the per-update queue copy (the expensive half of
+// partitioning) is skipped, since the caller will drain serially anyway.
+// The engine's queues are copied, never consumed, so an aborted parallel
+// attempt can fall back to the serial drain over the originals.
+func (e *Engine) partitionRegions(minRegions int) (regions []*regionRun, vpInit, vrInit []int32, nComps int) {
+	const unassigned = -1
+	if e.dirtyScratch == nil {
+		e.dirtyScratch = make(map[world.ChunkPos]int32, 64)
+	}
+	clear(e.dirtyScratch)
+	dirty := e.dirtyScratch
+	for _, u := range e.pending {
+		dirty[world.ChunkPosAt(u.pos)] = unassigned
+	}
+	for _, u := range e.redstonePending {
+		dirty[world.ChunkPosAt(u.pos)] = unassigned
+	}
+
+	// Connected components over the dirty set. Map iteration order is
+	// random, but components are canonical, and the final region order is
+	// fixed by the key sort below.
+	var comps [][]world.ChunkPos
+	var stack []world.ChunkPos
+	for cp, id := range dirty {
+		if id != unassigned {
+			continue
+		}
+		compID := int32(len(comps))
+		dirty[cp] = compID
+		stack = append(stack[:0], cp)
+		var comp []world.ChunkPos
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, c)
+			for dz := -regionLinkChunks; dz <= regionLinkChunks; dz++ {
+				for dx := -regionLinkChunks; dx <= regionLinkChunks; dx++ {
+					if dx == 0 && dz == 0 {
+						continue
+					}
+					n := world.ChunkPos{X: c.X + int32(dx), Z: c.Z + int32(dz)}
+					if nid, ok := dirty[n]; ok && nid == unassigned {
+						dirty[n] = compID
+						stack = append(stack, n)
+					}
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	nComps = len(comps)
+	if nComps < minRegions {
+		return nil, nil, nil, nComps
+	}
+
+	// byComp[compID] is the region in component order; regions is the same
+	// set sorted by key.
+	byComp := make([]*regionRun, len(comps))
+	regions = make([]*regionRun, len(comps))
+	for i, comp := range comps {
+		r := e.takeRegionRun()
+		r.key = comp[0]
+		for _, cp := range comp {
+			if cp.Z < r.key.Z || (cp.Z == r.key.Z && cp.X < r.key.X) {
+				r.key = cp
+			}
+			r.core[cp] = struct{}{}
+			for dz := int32(-1); dz <= 1; dz++ {
+				for dx := int32(-1); dx <= 1; dx++ {
+					r.owned[world.ChunkPos{X: cp.X + dx, Z: cp.Z + dz}] = struct{}{}
+				}
+			}
+		}
+		byComp[i] = r
+		regions[i] = r
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		a, b := regions[i].key, regions[j].key
+		if a.Z != b.Z {
+			return a.Z < b.Z
+		}
+		return a.X < b.X
+	})
+	// remap[compID] = sorted region index, so queue entries resolve through
+	// the dirty map in one lookup. The keys were computed on the regions
+	// themselves above; byComp carries them across the sort.
+	byKey := make(map[world.ChunkPos]int32, len(regions))
+	for i, r := range regions {
+		byKey[r.key] = int32(i)
+	}
+	remap := make([]int32, len(comps))
+	for compID, r := range byComp {
+		remap[compID] = byKey[r.key]
+	}
+
+	vpInit = e.vpScratch[:0]
+	for _, u := range e.pending {
+		idx := remap[dirty[world.ChunkPosAt(u.pos)]]
+		vpInit = append(vpInit, idx)
+		regions[idx].pendingQ = append(regions[idx].pendingQ, u)
+	}
+	vrInit = e.vrScratch[:0]
+	for _, u := range e.redstonePending {
+		idx := remap[dirty[world.ChunkPosAt(u.pos)]]
+		vrInit = append(vrInit, idx)
+		regions[idx].redstoneQ = append(regions[idx].redstoneQ, u)
+	}
+	e.vpScratch, e.vrScratch = vpInit, vrInit
+	return regions, vpInit, vrInit, nComps
+}
+
+// takeRegionRun reuses a pooled regionRun shell (its maps cleared, its
+// buffers length-reset but capacity-retained) or allocates a fresh one.
+// Shells return to the pool at the end of every parallel attempt, so
+// steady-state parallel ticks stop growing the heap with per-tick region
+// buffers.
+func (e *Engine) takeRegionRun() *regionRun {
+	if n := len(e.regionPool); n > 0 {
+		r := e.regionPool[n-1]
+		e.regionPool = e.regionPool[:n-1]
+		r.reset()
+		return r
+	}
+	return &regionRun{
+		core:  make(map[world.ChunkPos]struct{}, 16),
+		owned: make(map[world.ChunkPos]struct{}, 64),
+	}
+}
+
+// releaseRegionRuns returns the tick's region shells to the pool. Callers
+// must be done with every buffer the regions own (queues, logs, events).
+func (e *Engine) releaseRegionRuns(regions []*regionRun) {
+	e.regionPool = append(e.regionPool, regions...)
+}
+
+func (r *regionRun) reset() {
+	clear(r.core)
+	clear(r.owned)
+	r.pendingQ = r.pendingQ[:0]
+	r.redstoneQ = r.redstoneQ[:0]
+	r.log = r.log[:0]
+	r.events = r.events[:0]
+	r.undo = r.undo[:0]
+	r.pendPops, r.redPops = 0, 0
+	r.counters = Counters{}
+	r.setCount, r.lightScans = 0, 0
+	r.escaped = false
+	r.cache = world.ChunkCache{}
+}

@@ -4,78 +4,80 @@ import "repro/internal/mlg/world"
 
 // apply dispatches one queued update to the rule for the block currently at
 // the position. This is the "Process Actions / simulation rules applicable"
-// loop of the operational model (Figure 4, component 5).
-func (e *Engine) apply(u scheduledUpdate) {
-	b, loaded := e.wc.BlockIfLoaded(u.pos)
+// loop of the operational model (Figure 4, component 5). Rules run on an
+// exec context so the serial drain and the region-parallel drains share one
+// implementation.
+func (x *exec) apply(u scheduledUpdate) {
+	b, loaded := x.wc.BlockIfLoaded(u.pos)
 	if !loaded {
 		return
 	}
-	e.counters.BlockUpdates++
+	x.counters.BlockUpdates++
 
 	switch u.kind {
 	case updateIgnite:
-		e.igniteTNT(u.pos)
+		x.igniteTNT(u.pos)
 		return
 	case updateObserverClear:
 		if b.ID == world.Observer && b.ObserverPulsing() {
-			e.counters.RedstoneOps++
-			e.w.SetBlock(u.pos, b.WithObserverPulse(false))
+			x.counters.RedstoneOps++
+			x.setBlock(u.pos, b.WithObserverPulse(false))
 		}
 		return
 	case updateObserverFire:
 		if b.ID == world.Observer {
-			e.counters.RedstoneOps++
-			e.pulseObserver(u.pos, b)
+			x.counters.RedstoneOps++
+			x.pulseObserver(u.pos, b)
 		}
 		return
 	case updateRepeaterFire:
-		e.fireRepeater(u.pos, u.val)
+		x.fireRepeater(u.pos, u.val)
 		return
 	case updatePistonRetract:
 		if b.ID == world.Piston && b.PistonExtended() {
-			e.retractPiston(u.pos, b)
+			x.retractPiston(u.pos, b)
 		}
 		return
 	}
 
 	switch b.ID {
 	case world.Sand, world.Gravel:
-		e.applyGravity(u.pos, b)
+		x.applyGravity(u.pos, b)
 	case world.Water, world.Lava:
-		e.counters.FluidOps++
-		e.applyFluid(u.pos, b)
+		x.counters.FluidOps++
+		x.applyFluid(u.pos, b)
 	case world.RedstoneWire:
 		// With batching (PaperMC), a wire that already recomputed twice this
 		// tick is skipped before any work is counted.
-		if e.cfg.RedstoneBatch {
-			if v := e.wireSeen[u.pos]; v>>2 == e.tick && v&3 >= 2 {
+		if x.e.cfg.RedstoneBatch {
+			if v := x.wireSeen[u.pos]; v>>2 == x.e.tick && v&3 >= 2 {
 				return
 			}
 		}
-		e.counters.RedstoneOps++
-		e.updateWire(u.pos, b)
+		x.counters.RedstoneOps++
+		x.updateWire(u.pos, b)
 	case world.RedstoneTorch:
-		e.counters.RedstoneOps++
-		e.updateTorch(u.pos, b)
+		x.counters.RedstoneOps++
+		x.updateTorch(u.pos, b)
 	case world.Repeater:
-		e.counters.RedstoneOps++
-		e.updateRepeater(u.pos, b)
+		x.counters.RedstoneOps++
+		x.updateRepeater(u.pos, b)
 	case world.Observer:
 		// Plain neighbour updates do not fire observers; only a change of
 		// the watched block does (updateObserverFire).
 	case world.Piston:
-		e.counters.RedstoneOps++
-		e.updatePiston(u.pos, b)
+		x.counters.RedstoneOps++
+		x.updatePiston(u.pos, b)
 	case world.TNT:
-		if e.isReceivingPower(u.pos) {
-			e.igniteTNT(u.pos)
+		if x.isReceivingPower(u.pos) {
+			x.igniteTNT(u.pos)
 		}
 	case world.Air:
 		// Cobblestone generator: an air cell touching both water and lava
 		// solidifies — the stone-farm block source (Table 3).
 		var water, lava bool
 		for _, n := range u.pos.Neighbors6() {
-			switch nb, _ := e.wc.BlockIfLoaded(n); nb.ID {
+			switch nb, _ := x.wc.BlockIfLoaded(n); nb.ID {
 			case world.Water:
 				water = true
 			case world.Lava:
@@ -83,8 +85,8 @@ func (e *Engine) apply(u scheduledUpdate) {
 			}
 		}
 		if water && lava {
-			e.counters.BlockAdds++
-			e.w.SetBlock(u.pos, world.B(world.Cobblestone))
+			x.counters.BlockAdds++
+			x.setBlock(u.pos, world.B(world.Cobblestone))
 		}
 		// Other air updates need no rule: falling and fluid-spread
 		// neighbours were queued separately.
@@ -92,8 +94,8 @@ func (e *Engine) apply(u scheduledUpdate) {
 		// Second-order update: power arriving at a solid block must
 		// re-evaluate components attached to it (a torch standing on it).
 		if b.IsSolid() {
-			if above, loaded := e.wc.BlockIfLoaded(u.pos.Up()); loaded && above.ID == world.RedstoneTorch {
-				e.redstonePending = append(e.redstonePending,
+			if above, loaded := x.wc.BlockIfLoaded(u.pos.Up()); loaded && above.ID == world.RedstoneTorch {
+				*x.redstone = append(*x.redstone,
 					scheduledUpdate{pos: u.pos.Up(), kind: updateNeighbor})
 			}
 		}
@@ -103,16 +105,16 @@ func (e *Engine) apply(u scheduledUpdate) {
 // applyGravity makes unsupported sand/gravel fall one block per update, the
 // terrain-physics rule of §2.2.2 ("a bridge can collapse when a player
 // removes its support pillars").
-func (e *Engine) applyGravity(p world.Pos, b world.Block) {
-	below, loaded := e.wc.BlockIfLoaded(p.Down())
+func (x *exec) applyGravity(p world.Pos, b world.Block) {
+	below, loaded := x.wc.BlockIfLoaded(p.Down())
 	if !loaded {
 		return
 	}
 	if below.IsAir() || below.IsFluid() {
-		e.counters.BlockRemoves++
-		e.counters.BlockAdds++
-		e.w.SetBlock(p, world.B(world.Air))
-		e.w.SetBlock(p.Down(), b)
+		x.counters.BlockRemoves++
+		x.counters.BlockAdds++
+		x.setBlock(p, world.B(world.Air))
+		x.setBlock(p.Down(), b)
 	}
 }
 
@@ -123,7 +125,7 @@ func (e *Engine) applyGravity(p world.Pos, b world.Block) {
 // liquid-physics workload of §2.2.2.
 const maxFluidLevel = 7
 
-func (e *Engine) applyFluid(p world.Pos, b world.Block) {
+func (x *exec) applyFluid(p world.Pos, b world.Block) {
 	level := int(b.Meta)
 
 	// Flowing fluid meeting the opposing fluid solidifies into cobblestone
@@ -134,9 +136,9 @@ func (e *Engine) applyFluid(p world.Pos, b world.Block) {
 			opposing = world.Water
 		}
 		for _, n := range p.Neighbors6() {
-			if nb, _ := e.wc.BlockIfLoaded(n); nb.ID == opposing {
-				e.counters.BlockAdds++
-				e.w.SetBlock(p, world.B(world.Cobblestone))
+			if nb, _ := x.wc.BlockIfLoaded(n); nb.ID == opposing {
+				x.counters.BlockAdds++
+				x.setBlock(p, world.B(world.Cobblestone))
 				return
 			}
 		}
@@ -146,12 +148,12 @@ func (e *Engine) applyFluid(p world.Pos, b world.Block) {
 	// neighbour or any fluid above; otherwise it dries.
 	if level > 0 {
 		fed := false
-		if above, _ := e.wc.BlockIfLoaded(p.Up()); above.ID == b.ID {
+		if above, _ := x.wc.BlockIfLoaded(p.Up()); above.ID == b.ID {
 			fed = true
 		}
 		if !fed {
 			for _, n := range p.NeighborsHorizontal() {
-				nb, _ := e.wc.BlockIfLoaded(n)
+				nb, _ := x.wc.BlockIfLoaded(n)
 				if nb.ID == b.ID && int(nb.Meta) < level {
 					fed = true
 					break
@@ -159,21 +161,21 @@ func (e *Engine) applyFluid(p world.Pos, b world.Block) {
 			}
 		}
 		if !fed {
-			e.counters.BlockRemoves++
-			e.w.SetBlock(p, world.B(world.Air))
+			x.counters.BlockRemoves++
+			x.setBlock(p, world.B(world.Air))
 			return
 		}
 	}
 
 	// Flow down: falling fluid keeps level 1 (full column).
-	below, loaded := e.wc.BlockIfLoaded(p.Down())
+	below, loaded := x.wc.BlockIfLoaded(p.Down())
 	if loaded && below.IsAir() {
-		e.counters.BlockAdds++
-		e.w.SetBlock(p.Down(), world.Block{ID: b.ID, Meta: 1})
+		x.counters.BlockAdds++
+		x.setBlock(p.Down(), world.Block{ID: b.ID, Meta: 1})
 		return
 	}
 	if below.ID == b.ID && below.Meta > 1 {
-		e.w.SetBlock(p.Down(), world.Block{ID: b.ID, Meta: 1})
+		x.setBlock(p.Down(), world.Block{ID: b.ID, Meta: 1})
 	}
 
 	// Spread horizontally when resting on something solid.
@@ -182,15 +184,15 @@ func (e *Engine) applyFluid(p world.Pos, b world.Block) {
 	}
 	if loaded && (below.IsSolid() || below.ID == b.ID) {
 		for _, n := range p.NeighborsHorizontal() {
-			nb, ok := e.wc.BlockIfLoaded(n)
+			nb, ok := x.wc.BlockIfLoaded(n)
 			if !ok {
 				continue
 			}
 			if nb.IsAir() {
-				e.counters.BlockAdds++
-				e.w.SetBlock(n, world.Block{ID: b.ID, Meta: uint8(level + 1)})
+				x.counters.BlockAdds++
+				x.setBlock(n, world.Block{ID: b.ID, Meta: uint8(level + 1)})
 			} else if nb.ID == b.ID && int(nb.Meta) > level+1 {
-				e.w.SetBlock(n, world.Block{ID: b.ID, Meta: uint8(level + 1)})
+				x.setBlock(n, world.Block{ID: b.ID, Meta: uint8(level + 1)})
 			}
 		}
 	}
@@ -198,41 +200,41 @@ func (e *Engine) applyFluid(p world.Pos, b world.Block) {
 
 // applyGrowth advances plant growth for random-ticked blocks (§2.2.2:
 // "plants and trees change over time, reshaping the nearby terrain").
-func (e *Engine) applyGrowth(p world.Pos, b world.Block) {
+func (x *exec) applyGrowth(p world.Pos, b world.Block) {
 	switch b.ID {
 	case world.Wheat:
 		if b.Meta < 7 {
-			e.counters.GrowthOps++
-			e.w.SetBlock(p, world.Block{ID: world.Wheat, Meta: b.Meta + 1})
+			x.counters.GrowthOps++
+			x.setBlock(p, world.Block{ID: world.Wheat, Meta: b.Meta + 1})
 		}
 	case world.Kelp:
 		// Kelp extends upward through water until its stage cap.
 		if b.Meta >= 15 {
 			return
 		}
-		above, _ := e.wc.BlockIfLoaded(p.Up())
+		above, _ := x.wc.BlockIfLoaded(p.Up())
 		if above.ID == world.Water {
-			e.counters.GrowthOps++
-			e.counters.BlockAdds++
-			e.w.SetBlock(p, world.Block{ID: world.Kelp, Meta: b.Meta + 1})
-			e.w.SetBlock(p.Up(), world.Block{ID: world.Kelp, Meta: b.Meta + 1})
+			x.counters.GrowthOps++
+			x.counters.BlockAdds++
+			x.setBlock(p, world.Block{ID: world.Kelp, Meta: b.Meta + 1})
+			x.setBlock(p.Up(), world.Block{ID: world.Kelp, Meta: b.Meta + 1})
 		}
 	case world.Sapling:
 		// Saplings rarely grow into a small tree.
-		if e.rng.Intn(32) != 0 {
+		if x.rand().Intn(32) != 0 {
 			return
 		}
-		e.counters.GrowthOps++
+		x.counters.GrowthOps++
 		for y := 1; y <= 4; y++ {
-			if q := p.Add(0, y, 0); e.blockAirAt(q) {
-				e.counters.BlockAdds++
-				e.w.SetBlock(q, world.B(world.Wood))
+			if q := p.Add(0, y, 0); x.blockAirAt(q) {
+				x.counters.BlockAdds++
+				x.setBlock(q, world.B(world.Wood))
 			}
 		}
 	}
 }
 
-func (e *Engine) blockAirAt(p world.Pos) bool {
-	b, loaded := e.wc.BlockIfLoaded(p)
+func (x *exec) blockAirAt(p world.Pos) bool {
+	b, loaded := x.wc.BlockIfLoaded(p)
 	return loaded && b.IsAir()
 }

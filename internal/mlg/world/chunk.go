@@ -23,9 +23,35 @@ func ChunkPosAt(p Pos) ChunkPos {
 	return ChunkPos{X: int32(floorDiv(p.X, ChunkSize)), Z: int32(floorDiv(p.Z, ChunkSize))}
 }
 
+// ChunkLocal returns the chunk-local horizontal coordinates of p.
+func ChunkLocal(p Pos) (lx, lz int) {
+	return floorMod(p.X, ChunkSize), floorMod(p.Z, ChunkSize)
+}
+
 // Origin returns the world position of the chunk's (0, 0, 0) corner.
 func (cp ChunkPos) Origin() Pos {
 	return Pos{X: int(cp.X) * ChunkSize, Y: 0, Z: int(cp.Z) * ChunkSize}
+}
+
+// RegionSeed derives a deterministic RNG seed for a simulation region from
+// the world seed and the region's key chunk (its minimal core chunk). Region
+// drains that ever need randomness must draw from a stream derived here —
+// never from the engine's shared RNG, whose consumption order would depend
+// on worker scheduling. FNV-1a over the three values keeps nearby regions'
+// streams uncorrelated.
+func RegionSeed(worldSeed int64, key ChunkPos) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range [...]uint64{uint64(worldSeed), uint64(uint32(key.X)), uint64(uint32(key.Z))} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xFF
+			h *= prime64
+		}
+	}
+	return int64(h & 0x7FFFFFFFFFFFFFFF)
 }
 
 func floorDiv(a, b int) int {
@@ -127,6 +153,14 @@ func (c *Chunk) NonAirCount() int { return c.nonAir }
 // LightHorizon returns the cached sky-light horizon for a column.
 func (c *Chunk) LightHorizon(lx, lz int) int {
 	return int(c.lightHeight[lz*ChunkSize+lx])
+}
+
+// SetLightHorizon overwrites a column's cached horizon without rescanning.
+// It exists for the region-parallel simulation's rollback path, which must
+// restore the exact pre-tick lighting state after undoing a speculative
+// region drain; normal code paths use RecomputeColumnLight.
+func (c *Chunk) SetLightHorizon(lx, lz int, horizon int) {
+	c.lightHeight[lz*ChunkSize+lx] = uint8(horizon)
 }
 
 // RecomputeColumnLight rescans one column for its highest opaque block and

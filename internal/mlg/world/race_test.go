@@ -38,3 +38,59 @@ func TestConcurrentSetBlockAndReaders(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestExclusivePhaseShutsOutReaders: the region-parallel drains write chunk
+// contents without per-write locking between BeginExclusive and
+// EndExclusive. That is only sound if every reader path is fenced by the
+// world lock — this test writes a chunk directly during repeated exclusive
+// phases while reader goroutines hammer the same cells through the public
+// API, and relies on -race to catch any unfenced access.
+func TestExclusivePhaseShutsOutReaders(t *testing.T) {
+	w := New(&FlatGenerator{SurfaceY: 10, Surface: Grass})
+	w.EnsureArea(Pos{X: 8, Z: 8}, 1)
+	target := Pos{X: 8, Y: 30, Z: 8}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.Block(target)
+				w.BlockIfLoaded(target)
+				w.HighestSolidY(8, 8)
+				w.Stats()
+			}
+		}()
+	}
+
+	for i := 0; i < 20000; i++ {
+		index := w.BeginExclusive()
+		cache := NewFixedChunkCache(index)
+		c := cache.Chunk(ChunkPosAt(target))
+		lx, lz := ChunkLocal(target)
+		old := c.At(lx, target.Y, lz)
+		if i%2 == 0 {
+			c.Set(lx, target.Y, lz, B(Stone))
+		} else {
+			c.Set(lx, target.Y, lz, B(Air))
+		}
+		c.RecomputeColumnLight(lx, lz)
+		_ = old
+		w.EndExclusive()
+		// Stats merge and listener replay happen after the exclusive phase,
+		// exactly as the engine's merge does.
+		w.AddMutationStats(1, 1)
+		if i%100 == 0 {
+			w.EmitChange(target, old, c.At(lx, target.Y, lz))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -158,6 +158,46 @@ func readChunk(br *bufio.Reader) (*Chunk, error) {
 	return c, nil
 }
 
+// DecodeRLE decodes a chunk wire payload produced by Chunk.AppendRLE back
+// into the chunk, replacing its contents and rebuilding the derived state
+// (occupancy, lighting). It is the inverse the ChunkData protocol consumers
+// need, and it rejects malformed input — truncated runs, zero-length runs,
+// overflowing or underfilled payloads — with an error, never a panic, so it
+// is safe to feed network bytes (see FuzzChunkRLE).
+func (c *Chunk) DecodeRLE(data []byte) error {
+	if len(data)%4 != 0 {
+		return fmt.Errorf("chunk rle: truncated run at byte %d", len(data)-len(data)%4)
+	}
+	var blocks [ChunkSize * ChunkSize * Height]Block
+	idx := 0
+	nonAir := 0
+	for off := 0; off < len(data); off += 4 {
+		count := int(data[off])<<8 | int(data[off+1])
+		if count == 0 {
+			return fmt.Errorf("chunk rle: zero-length run at byte %d", off)
+		}
+		b := Block{ID: BlockID(data[off+2]), Meta: data[off+3]}
+		if idx+count > len(blocks) {
+			return fmt.Errorf("chunk rle: run overflows chunk: %d blocks past %d", idx+count, len(blocks))
+		}
+		for k := 0; k < count; k++ {
+			blocks[idx] = b
+			idx++
+		}
+		if !b.IsAir() {
+			nonAir += count
+		}
+	}
+	if idx != len(blocks) {
+		return fmt.Errorf("chunk rle: payload underfills chunk: %d of %d blocks", idx, len(blocks))
+	}
+	c.blocks = blocks
+	c.nonAir = nonAir
+	c.rev++
+	c.RecomputeAllLight()
+	return nil
+}
+
 // SavedSize serializes the world to a counting sink and returns the
 // compressed byte size — the "Size [MB]" column of Table 2.
 func (w *World) SavedSize() (int64, error) {

@@ -45,6 +45,48 @@ func (w *World) OnChange(l ChangeListener) {
 	w.listeners = append(w.listeners, l)
 }
 
+// EmitChange invokes every change listener for a mutation that was applied
+// outside SetBlock — the region-parallel simulation writes chunks directly
+// during its exclusive phase and replays the buffered (pos, old, new) events
+// through here afterwards, in the serial-equivalent order.
+func (w *World) EmitChange(p Pos, old, new Block) {
+	w.mu.RLock()
+	listeners := w.listeners
+	w.mu.RUnlock()
+	for _, l := range listeners {
+		l(p, old, new)
+	}
+}
+
+// BeginExclusive write-locks the world for a bulk mutation phase and returns
+// the live chunk index for lock-free resolution while the phase lasts. The
+// region-parallel simulation drains its regions between BeginExclusive and
+// EndExclusive: external readers (metric externalizers, joining players)
+// block on the lock exactly as they would behind a burst of SetBlock calls,
+// and the workers partition the chunk set among themselves so no chunk is
+// touched by two goroutines. The returned map must only be read, and only
+// until EndExclusive.
+func (w *World) BeginExclusive() map[ChunkPos]*Chunk {
+	w.mu.Lock()
+	return w.chunks
+}
+
+// EndExclusive releases the lock taken by BeginExclusive.
+func (w *World) EndExclusive() {
+	w.mu.Unlock()
+}
+
+// AddMutationStats merges externally accounted mutation work into the
+// world's counters: the region-parallel drains count their block sets and
+// lighting scans per region and fold them in here at merge time, so Stats
+// reports the same totals as the equivalent serial SetBlock sequence.
+func (w *World) AddMutationStats(sets, lightScans int) {
+	w.mu.Lock()
+	w.setCount += sets
+	w.lightScans += lightScans
+	w.mu.Unlock()
+}
+
 // chunkLocked returns (generating if needed) the chunk; caller holds w.mu.
 func (w *World) chunkLocked(cp ChunkPos) *Chunk {
 	if c, ok := w.chunks[cp]; ok {
@@ -243,12 +285,24 @@ func (w *World) LoadedChunkRefs() []*Chunk {
 // Not safe for concurrent use: each consumer owns its own cache. Misses on
 // unloaded chunks are not cached (the chunk may be generated later).
 type ChunkCache struct {
-	w      *World
+	w *World
+	// fixed, when non-nil, resolves misses from a frozen chunk index instead
+	// of the world lock. Region-drain workers run while the world is held
+	// exclusively (BeginExclusive), so they cannot take the read lock; they
+	// resolve against the index snapshot instead.
+	fixed  map[ChunkPos]*Chunk
 	c0, c1 *Chunk // MRU, then previous
 }
 
 // NewChunkCache returns a cache over w.
 func NewChunkCache(w *World) ChunkCache { return ChunkCache{w: w} }
+
+// NewFixedChunkCache returns a cache that resolves chunks from the given
+// frozen index (as returned by BeginExclusive) without locking. The index
+// must not be mutated while the cache is in use.
+func NewFixedChunkCache(index map[ChunkPos]*Chunk) ChunkCache {
+	return ChunkCache{fixed: index}
+}
 
 // chunkAt resolves the chunk at cp through the cache, or nil if not loaded.
 func (cc *ChunkCache) chunkAt(cp ChunkPos) *Chunk {
@@ -259,12 +313,20 @@ func (cc *ChunkCache) chunkAt(cp ChunkPos) *Chunk {
 		cc.c1, cc.c0 = cc.c0, c
 		return c
 	}
-	c := cc.w.ChunkIfLoaded(cp)
+	var c *Chunk
+	if cc.fixed != nil {
+		c = cc.fixed[cp]
+	} else {
+		c = cc.w.ChunkIfLoaded(cp)
+	}
 	if c != nil {
 		cc.c1, cc.c0 = cc.c0, c
 	}
 	return c
 }
+
+// Chunk resolves the chunk at cp through the cache, or nil if not loaded.
+func (cc *ChunkCache) Chunk(cp ChunkPos) *Chunk { return cc.chunkAt(cp) }
 
 // BlockIfLoaded behaves exactly like World.BlockIfLoaded, through the cache.
 func (cc *ChunkCache) BlockIfLoaded(p Pos) (Block, bool) {

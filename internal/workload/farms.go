@@ -15,32 +15,43 @@ import (
 
 const farmY = 12 // construction level: one above the flat-world surface
 
-// installFarms builds the Table 3 inventory, scaled.
+// farmClusterPitch separates scale copies of the farm district in X. The
+// Table 3 constructs sit on a dense 14-block grid — one simulation region —
+// so scaling builds whole additional districts 32 chunks away rather than
+// growing the grid: the construct inventory multiplies exactly as before,
+// and each district is an independent region for the parallel drains.
+// Scale 1 is byte-identical to the historical layout.
+const farmClusterPitch = 512
+
+// installFarms builds the Table 3 inventory, one full district per scale
+// step.
 func installFarms(s *server.Server, spec Spec) {
 	w := s.World()
 	w.EnsureArea(world.Pos{X: 8, Y: 0, Z: 8}, 5)
 
-	n := 0
-	place := func(build func(*world.World, world.Pos)) {
-		// Spiral the constructs around spawn on a 14-block grid, inside the
-		// players' view distance.
-		gx, gz := n%5, n/5
-		origin := world.Pos{X: -24 + gx*14, Y: farmY, Z: -24 + gz*14}
-		build(w, origin)
-		n++
-	}
-
-	for _, c := range Table3() {
-		for i := 0; i < c.Amount*spec.Scale; i++ {
-			switch c.Name {
-			case "Entity Farm":
-				place(buildEntityFarm)
-			case "Stone Farm":
-				place(buildStoneFarm)
-			case "Kelp Farm":
-				place(buildKelpFarm)
-			case "Item Sorter":
-				place(buildItemSorter)
+	for cl := 0; cl < spec.Scale; cl++ {
+		n := 0
+		base := cl * farmClusterPitch
+		place := func(build func(*world.World, world.Pos)) {
+			// Spiral the constructs around spawn on a 14-block grid, inside
+			// the players' view distance.
+			gx, gz := n%5, n/5
+			origin := world.Pos{X: base - 24 + gx*14, Y: farmY, Z: -24 + gz*14}
+			build(w, origin)
+			n++
+		}
+		for _, c := range Table3() {
+			for i := 0; i < c.Amount; i++ {
+				switch c.Name {
+				case "Entity Farm":
+					place(buildEntityFarm)
+				case "Stone Farm":
+					place(buildStoneFarm)
+				case "Kelp Farm":
+					place(buildKelpFarm)
+				case "Item Sorter":
+					place(buildItemSorter)
+				}
 			}
 		}
 	}

@@ -27,17 +27,28 @@ const lagCells = 180
 // lagMeshSide is the side of each cell's wire mesh.
 const lagMeshSide = 10
 
-// installLagMachine builds the pulser-cell array.
+// lagClusterPitch separates scale copies of the machine in X. One machine
+// spans roughly 13 x 21 chunks of dense, every-tick-active redstone — a
+// single simulation region by construction. Scaling up therefore builds
+// whole additional machines 32 chunks away instead of extending the grid:
+// the workload doubles exactly as before (2x cells, 2x rule activations),
+// and each machine is an independent region the engine can drain on its own
+// worker. Scale 1 is byte-identical to the historical layout.
+const lagClusterPitch = 512
+
+// installLagMachine builds the pulser-cell array, one full machine per
+// scale step.
 func installLagMachine(s *server.Server, spec Spec) {
 	w := s.World()
 	w.EnsureArea(world.Pos{X: 8, Y: 0, Z: 8}, 5)
 
-	cells := lagCells * spec.Scale
 	perRow := 8
-	for c := 0; c < cells; c++ {
-		ox := -64 + (c%perRow)*(lagMeshSide*2+6)
-		oz := -64 + (c/perRow)*(lagMeshSide+4)
-		buildLagCell(w, world.Pos{X: ox, Y: farmY, Z: oz})
+	for cl := 0; cl < spec.Scale; cl++ {
+		for c := 0; c < lagCells; c++ {
+			ox := cl*lagClusterPitch - 64 + (c%perRow)*(lagMeshSide*2+6)
+			oz := -64 + (c/perRow)*(lagMeshSide+4)
+			buildLagCell(w, world.Pos{X: ox, Y: farmY, Z: oz})
+		}
 	}
 }
 

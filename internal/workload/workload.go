@@ -137,8 +137,14 @@ func installTNT(s *server.Server, spec Spec) {
 	}
 }
 
+// tntOrigin places the c-th TNT cuboid. The first cuboid sits at the
+// paper's position; additional cuboids (Scale > 1) are spaced 12 chunks
+// apart so their chain reactions stay independent — independent enough, in
+// fact, that the engine's region partitioner can drain each cascade on its
+// own worker (craters plus their follow-up update waves never come within
+// the partition's 3-chunk link distance of each other).
 func tntOrigin(c int) (ox, oz int) {
-	return 20 + c*40, 20 // offset cuboids so they chain independently
+	return 20 + c*192, 20
 }
 
 // Arm schedules the workload's triggers relative to now. For the TNT world

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # bench.sh — run the tick + network benchmarks and record the perf
-# trajectory into a JSON file (default BENCH_3.json): one entry per
-# benchmark with name, ns/op and allocs/op.
+# trajectory into a JSON file (default BENCH_4.json): one entry per
+# benchmark with name, ns/op and allocs/op. The set includes the
+# BenchmarkTickParallel SimWorkers sweep (workers 1/2/4 over the scale>=2
+# construct workloads), so the serial-vs-parallel tick trajectory is
+# recorded next to the per-workload serial baselines; the sweep only shows
+# core-scaling on hosts with >= 2 CPUs.
 #
 # Usage:
 #   scripts/bench.sh [out.json]
@@ -9,18 +13,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkTick$|BenchmarkSendReal$|BenchmarkSerializeChunk$' \
+  -bench 'BenchmarkTick$|BenchmarkTickParallel$|BenchmarkSendReal$|BenchmarkSerializeChunk$' \
   -benchmem -benchtime "$benchtime" \
   ./internal/mlg/server | tee "$raw"
 
-awk '
+awk -v ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
   /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
     ns = "null"; allocs = "null"
@@ -28,7 +32,7 @@ awk '
       if ($(i + 1) == "ns/op")     ns = $i
       if ($(i + 1) == "allocs/op") allocs = $i
     }
-    printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", sep, name, ns, allocs
+    printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"cpus\": %s}", sep, name, ns, allocs, ncpu
     sep = ",\n"
   }
   BEGIN { print "[" }
