@@ -65,9 +65,11 @@ type Config struct {
 	Scale int
 	// Environment selects the deployment-environment profile by name.
 	Environment string
-	// SimWorkers is the terrain-simulation drain parallelism of the servers
-	// under test: 0 = GOMAXPROCS, 1 = legacy serial drain. Output is
-	// bit-identical either way (see internal/mlg/sim).
+	// SimWorkers is the per-tick simulation parallelism of the servers under
+	// test — both world-exclusive phases, the terrain drain and the entity
+	// tick, share the knob and the worker pool: 0 = GOMAXPROCS, 1 = legacy
+	// serial paths. Output is bit-identical either way (see internal/mlg/sim
+	// and internal/mlg/entity).
 	SimWorkers int
 }
 

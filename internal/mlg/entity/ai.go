@@ -11,49 +11,86 @@ import (
 // precomputed navigation mesh: paths are computed on demand and invalidated
 // whenever a chunk they cross changes — the compute-intensive dynamic
 // pathfinding of §2.2.3.
+//
+// The tick-time half (path following, staleness checks, physics) runs on a
+// tick context shared by the serial loop and the region-parallel workers.
+// The decision half (choosePath, and the wander-cooldown roll on path
+// completion) consumes the store's RNG stream, whose draw order is part of
+// the bit-equality contract — region workers never reach it: mobs whose tick
+// could draw are routed to the serial replay pass (see parallel.go), and the
+// context guards below turn any predicate miss into a rolled-back tick.
 
 // tickItem integrates item physics only.
-func (ew *World) tickItem(e *Entity) {
-	ew.stepPhysics(e)
+func (c *tickCtx) tickItem(e *Entity) {
+	c.stepPhysics(e)
 }
 
 // tickMob runs one AI + physics step for a mob.
-func (ew *World) tickMob(e *Entity) {
+func (c *tickCtx) tickMob(e *Entity) {
 	// Invalidate the path if terrain changed beneath it.
-	if e.HasPath() && ew.pathStale(e) {
+	if e.HasPath() && c.pathStale(e) {
 		e.path = nil
-		ew.counters.Repaths++
+		c.counters.Repaths++
 	}
 
 	if !e.HasPath() {
 		if e.wanderCooldown > 0 {
 			e.wanderCooldown--
+		} else if r := c.region; r != nil {
+			// The deferral predicate (mobMayDrawRNG) should have routed this
+			// mob to the serial replay pass; choosing a path here would draw
+			// from the shared RNG stream out of order. Abort the parallel
+			// attempt — the rollback re-runs the tick serially.
+			r.escaped = true
+			return
 		} else {
-			ew.choosePath(e)
+			c.ew.choosePath(e)
 		}
 	}
 
 	if e.HasPath() {
-		ew.followPath(e)
+		c.followPath(e)
+		if c.region != nil && c.region.escaped {
+			return
+		}
 	}
-	ew.stepPhysics(e)
+	c.stepPhysics(e)
 }
 
 // pathStale reports whether any chunk the path crosses mutated since the
-// path was computed.
-func (ew *World) pathStale(e *Entity) bool {
+// path was computed. chunkVersion only changes on terrain mutation, which
+// never happens during the entity phase, so concurrent region workers read
+// a frozen map.
+func (c *tickCtx) pathStale(e *Entity) bool {
 	for cp, v := range e.pathVersions {
-		if ew.chunkVersion[cp] != v {
+		if c.ew.chunkVersion[cp] != v {
 			return true
 		}
 	}
 	return false
 }
 
+// mobMayDrawRNG reports whether ticking the mob now could draw from the
+// store's RNG stream. It mirrors tickMob's control flow on pre-tick state
+// without mutating anything: no current path (after staleness) with an
+// expired cooldown reaches choosePath, and a mob on its final waypoint may
+// complete the path and roll a wander cooldown. Conservative (a deferred mob
+// that ends up not drawing costs only parallelism), and the context guards
+// in tickMob/followPath catch any miss by aborting the attempt.
+func (ew *World) mobMayDrawRNG(e *Entity) bool {
+	hasPath := e.HasPath() && !ew.root.pathStale(e)
+	if !hasPath {
+		return e.wanderCooldown == 0
+	}
+	return e.pathIdx >= len(e.path)-1
+}
+
 // choosePath picks a goal (a player within 16 blocks, else a random point
 // within 8) and runs A* toward it. Target finding queries the tick's player
 // grid: only buckets around the mob are visited, and the lowest-index match
 // is chosen — the same player a first-match linear scan would pick.
+// Root-context only: it consumes the store RNG and may generate terrain
+// through surfaceAt.
 func (ew *World) choosePath(e *Entity) {
 	start := e.Pos.BlockPos()
 	var goal world.Pos
@@ -86,7 +123,7 @@ func (ew *World) choosePath(e *Entity) {
 }
 
 // followPath steers the mob toward its next waypoint.
-func (ew *World) followPath(e *Entity) {
+func (c *tickCtx) followPath(e *Entity) {
 	wp := e.path[e.pathIdx]
 	target := Center(wp)
 	delta := target.Sub(e.Pos)
@@ -95,7 +132,13 @@ func (ew *World) followPath(e *Entity) {
 		e.pathIdx++
 		if e.pathIdx >= len(e.path) {
 			e.path = nil
-			e.wanderCooldown = 20 + ew.rng.Intn(40)
+			if r := c.region; r != nil {
+				// Predicate miss (see tickMob): the completion roll must come
+				// from the serial stream. Roll the tick back.
+				r.escaped = true
+				return
+			}
+			e.wanderCooldown = 20 + c.ew.rng.Intn(40)
 		}
 		return
 	}
@@ -203,6 +246,7 @@ func reconstruct(n *pathNode) []world.Pos {
 
 // walkableNeighbors returns the standable positions reachable in one step:
 // flat moves, single-block step-ups, and drops of up to three blocks.
+// Root-context only (A* and natural spawning run serially).
 func (ew *World) walkableNeighbors(p world.Pos) []world.Pos {
 	out := make([]world.Pos, 0, 4)
 	for _, hn := range p.NeighborsHorizontal() {

@@ -1,0 +1,483 @@
+package entity
+
+// Region-parallel entity ticks, mirroring the terrain engine's
+// partition-and-replay architecture (internal/mlg/sim/region.go,
+// parallel.go) on the entity phase.
+//
+// The serial loop visits every live entity in list (ID) order. Within one
+// tick, entity ticks never read each other's state: AI targets come from the
+// frozen player snapshot, physics and path checks read terrain — which the
+// entity phase never mutates — and spawning, item merging and blast
+// impulses all happen in the serial phases around the loop. The loop's only
+// cross-entity dependency is the store's RNG stream, which mob decisions
+// (choosePath, the wander-cooldown roll on path completion) consume in
+// entity order. A bit-identical parallel schedule therefore needs:
+//
+//  1. Region independence: entities are partitioned by the chunk-bucketed
+//     spatial index into connected components of occupied chunk columns
+//     (Chebyshev distance <= entRegionLinkChunks), each owning its core
+//     chunks plus a one-chunk halo. Workers write only their own entities;
+//     buffered side effects (index rebuckets, per-chunk update counts,
+//     detonations) keep the shared maps untouched until the merge. An
+//     entity that moves outside its region's owned set escapes — the whole
+//     attempt rolls back from per-entity undo snapshots and the tick
+//     re-runs serially, exactly as terrain escapes do.
+//
+//  2. Decision replay: mobs whose tick could draw RNG (the mobMayDrawRNG
+//     predicate, evaluated on pre-tick state) are not ticked by the workers
+//     at all; the merge replays them serially in global ID order on the
+//     root context, so every RNG draw happens in exactly the serial
+//     stream position. The predicate is conservative; the context guards in
+//     tickMob/followPath turn any miss into an escape.
+//
+// Order-sensitive effects are reconstructed at merge time: detonations are
+// re-emitted in entity-ID order (the serial append order — mobs never
+// detonate, so the deferred pass cannot interleave), counters and per-chunk
+// update counts are order-free sums, and index rebuckets commute because
+// buckets are ID-sorted sets. The workers run inside the world's exclusive
+// phase with frozen chunk-index caches, so concurrent joins and readers
+// block exactly as they would behind a serial entity storm.
+
+import (
+	"sort"
+
+	"repro/internal/mlg/world"
+)
+
+// entRegionLinkChunks is the Chebyshev chunk distance at which occupied
+// chunk columns merge into one entity region. Cores of distinct regions are
+// then >= 3 chunks apart, so their owned sets (core ⊕ 1-chunk halo) are
+// >= 1 chunk apart: an entity would have to cross a full unoccupied chunk
+// in one tick (terminal velocity is 3 blocks/tick) to reach another
+// region's territory, which the escape check rules out anyway.
+const entRegionLinkChunks = 2
+
+// minParallelEntities is the population below which a parallel attempt is
+// not worth the partition + worker handoff cost.
+const minParallelEntities = 32
+
+// minParallelImpulses is the detonation-batch size below which blast
+// impulses run serially.
+const minParallelImpulses = 4
+
+// tickCtx is one entity-tick execution context. The store's root context
+// aliases the store's own chunk cache and counters (the legacy serial
+// path); a region context owns region-local counters and caches and buffers
+// every order-sensitive effect for the deterministic merge. The per-entity
+// tick body is written once against tickCtx, so the serial and parallel
+// paths cannot drift apart.
+type tickCtx struct {
+	ew       *World
+	wc       *world.ChunkCache
+	counters *Counters
+	region   *entRegion // nil for the store's root (serial) context
+	cur      *Entity    // entity currently being ticked (hazard attribution)
+}
+
+// blockIfLoaded is the context's terrain read. On a region context, a read
+// that misses an unloaded chunk escapes when a deferred mob with a smaller
+// ID exists in the region: that mob's serial-order choosePath can GENERATE
+// the missing chunk (surfaceAt → HighestSolidY) before this entity's serial
+// turn, so the frozen-index miss is not provably what the serial schedule
+// observes. Reads by entities ordered before every deferred mob — and all
+// reads when nothing is deferred — see exactly the serial state, since no
+// worker-ticked entity ever generates terrain.
+func (c *tickCtx) blockIfLoaded(p world.Pos) (world.Block, bool) {
+	b, ok := c.wc.BlockIfLoaded(p)
+	if !ok {
+		if r := c.region; r != nil && r.minDeferred >= 0 && c.cur != nil && c.cur.ID > r.minDeferred {
+			r.escaped = true
+		}
+	}
+	return b, ok
+}
+
+// entMove is one buffered spatial-index rebucket.
+type entMove struct {
+	e  *Entity
+	to world.ChunkPos
+}
+
+// entExplosion is one buffered TNT detonation, keyed by entity ID so the
+// merge can re-emit the batch in serial (list) order.
+type entExplosion struct {
+	id  int64
+	pos world.Pos
+}
+
+// entUndo snapshots one entity before its parallel tick. Restoring the
+// struct value is a full rollback: workers never mutate the contents of the
+// referenced path/pathVersions slices or maps, only replace the pointers.
+type entUndo struct {
+	e    *Entity
+	prev Entity
+}
+
+// entRegion is one region's tick execution: its core chunk columns, the
+// owned set bounding its entities' movement, and the buffers the merge
+// consumes.
+type entRegion struct {
+	key    world.ChunkPos
+	chunks []world.ChunkPos            // core chunk columns, discovery order
+	owned  map[world.ChunkPos]struct{} // core plus one-chunk halo
+
+	cache      world.ChunkCache
+	counters   Counters
+	ticking    []*Entity // entities the workers tick (classify pass output)
+	deferred   []*Entity // mobs routed to the serial decision replay
+	moves      []entMove
+	chunkMoved map[world.ChunkPos]int
+	explosions []entExplosion
+	undo       []entUndo
+	// minDeferred is the smallest deferred-mob ID (-1 when none): the
+	// horizon after which an unloaded-chunk read stops being provably
+	// serial-equivalent (see tickCtx.blockIfLoaded).
+	minDeferred int64
+	// escaped marks an entity leaving the owned set, a decision predicate
+	// miss, or an unloaded read past the deferred horizon: the whole tick's
+	// parallel attempt rolls back and re-runs serially.
+	escaped bool
+}
+
+// run ticks the region's entities in two passes. The classify pass routes
+// RNG-drawing mobs to the serial replay (recording the deferred-ID horizon
+// the terrain-read guard needs); the tick pass then runs everything else.
+// Within-region tick order is free: entity ticks are independent, and every
+// order-sensitive effect is keyed for the merge.
+func (r *entRegion) run(c *tickCtx) {
+	for _, cp := range r.chunks {
+		for _, e := range c.ew.index.buckets[cp] {
+			if e.Dead {
+				continue
+			}
+			if e.Kind == Mob && !c.ew.throttledAt(e, e.Age+1) && c.ew.mobMayDrawRNG(e) {
+				r.deferred = append(r.deferred, e)
+				if r.minDeferred < 0 || e.ID < r.minDeferred {
+					r.minDeferred = e.ID
+				}
+				continue
+			}
+			r.ticking = append(r.ticking, e)
+		}
+	}
+	for _, e := range r.ticking {
+		if r.escaped {
+			return
+		}
+		r.undo = append(r.undo, entUndo{e: e, prev: *e})
+		c.cur = e
+		c.tickEntity(e)
+	}
+	c.cur = nil
+}
+
+// rollback restores every entity the region ticked to its pre-tick state,
+// in reverse order. Buffered effects are simply discarded by the caller.
+func (r *entRegion) rollback() {
+	for i := len(r.undo) - 1; i >= 0; i-- {
+		*r.undo[i].e = r.undo[i].prev
+	}
+}
+
+func (r *entRegion) reset() {
+	r.chunks = r.chunks[:0]
+	clear(r.owned)
+	clear(r.chunkMoved)
+	r.ticking = r.ticking[:0]
+	r.deferred = r.deferred[:0]
+	r.moves = r.moves[:0]
+	r.explosions = r.explosions[:0]
+	r.undo = r.undo[:0]
+	r.counters = Counters{}
+	r.minDeferred = -1
+	r.escaped = false
+	r.cache = world.ChunkCache{}
+}
+
+// takeEntRegion reuses a pooled region shell (maps cleared, buffer capacity
+// retained) or allocates a fresh one, so steady-state parallel ticks stop
+// growing the heap with per-tick region buffers.
+func (ew *World) takeEntRegion() *entRegion {
+	if n := len(ew.regionPool); n > 0 {
+		r := ew.regionPool[n-1]
+		ew.regionPool = ew.regionPool[:n-1]
+		r.reset()
+		return r
+	}
+	return &entRegion{
+		owned:       make(map[world.ChunkPos]struct{}, 64),
+		chunkMoved:  make(map[world.ChunkPos]int, 16),
+		minDeferred: -1,
+	}
+}
+
+func (ew *World) releaseEntRegions(regions []*entRegion) {
+	ew.regionPool = append(ew.regionPool, regions...)
+}
+
+// partitionEntityRegions groups the occupied chunk columns of the spatial
+// index into entity regions: connected components at Chebyshev distance
+// <= entRegionLinkChunks, each owning its core plus a one-chunk halo.
+// Regions are returned sorted by key (minimal core chunk in (Z, X) order).
+// When fewer than minRegions components exist only the count is returned —
+// the caller drains serially.
+func (ew *World) partitionEntityRegions(minRegions int) (regions []*entRegion, nComps int) {
+	if ew.regionScratch == nil {
+		ew.regionScratch = make(map[world.ChunkPos]int32, 64)
+	}
+	clear(ew.regionScratch)
+	occ := ew.regionScratch
+	for cp := range ew.index.buckets {
+		occ[cp] = -1
+	}
+
+	// Connected components over the occupied set (the shared flood fill).
+	// Component ids follow map iteration order, but components are
+	// canonical and the final region order is fixed by the key sort below.
+	world.LabelComponents(occ, entRegionLinkChunks, func(comp int32, c world.ChunkPos) {
+		if int(comp) == len(regions) {
+			r := ew.takeEntRegion()
+			r.key = c
+			regions = append(regions, r)
+		}
+		r := regions[comp]
+		r.chunks = append(r.chunks, c)
+		if c.Z < r.key.Z || (c.Z == r.key.Z && c.X < r.key.X) {
+			r.key = c
+		}
+		for dz := int32(-1); dz <= 1; dz++ {
+			for dx := int32(-1); dx <= 1; dx++ {
+				r.owned[world.ChunkPos{X: c.X + dx, Z: c.Z + dz}] = struct{}{}
+			}
+		}
+	})
+	nComps = len(regions)
+	if nComps < minRegions {
+		ew.releaseEntRegions(regions)
+		return nil, nComps
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		a, b := regions[i].key, regions[j].key
+		if a.Z != b.Z {
+			return a.Z < b.Z
+		}
+		return a.X < b.X
+	})
+	return regions, nComps
+}
+
+// tryParallelTick attempts to run this tick's per-entity loop on the
+// region-parallel schedule. It returns true when the loop ran and merged
+// (bit-identically to the serial loop); false leaves every entity untouched
+// so the caller runs the serial path.
+func (ew *World) tryParallelTick() bool {
+	ew.lastParallel = false
+	ew.lastRegions = 0
+	if ew.workers < 2 || len(ew.list) < minParallelEntities {
+		return false
+	}
+	if ew.serialHold > 0 {
+		ew.serialHold--
+		return false
+	}
+	regions, nComps := ew.partitionEntityRegions(2)
+	ew.lastRegions = nComps
+	if regions == nil {
+		// Single occupied cluster: nothing to parallelize. Hold the serial
+		// path for a few ticks instead of re-scanning a dense one-cluster
+		// population every tick.
+		ew.serialHold = 8
+		return false
+	}
+
+	// Exclusive phase: workers resolve terrain reads from the frozen chunk
+	// index (they cannot take the world's read lock while it is held), and
+	// concurrent joins/readers block exactly as behind a serial entity storm.
+	index := ew.w.BeginExclusive()
+	world.Parallel(ew.workers, len(regions), func(i int) {
+		r := regions[i]
+		r.cache = world.NewFixedChunkCache(index)
+		c := &tickCtx{ew: ew, wc: &r.cache, counters: &r.counters, region: r}
+		r.run(c)
+	})
+	ew.w.EndExclusive()
+
+	for _, r := range regions {
+		if r.escaped {
+			// Roll every region back (undo snapshots restore the exact
+			// pre-tick entity states; buffered effects are discarded) and
+			// let the serial loop redo the tick.
+			for j := len(regions) - 1; j >= 0; j-- {
+				regions[j].rollback()
+			}
+			ew.releaseEntRegions(regions)
+			ew.fallbackTicks++
+			ew.serialHold = 8
+			return false
+		}
+	}
+
+	ew.mergeEntRegions(regions)
+	ew.replayDeferred(regions)
+	ew.releaseEntRegions(regions)
+	ew.lastParallel = true
+	ew.parallelTicks++
+	return true
+}
+
+// mergeEntRegions folds the regions' buffered effects into the store:
+// counters and per-chunk update counts sum (order-free), index rebuckets
+// apply (buckets are ID-sorted sets, so application order is immaterial),
+// and detonations re-emit in entity-ID order — exactly the serial loop's
+// append order.
+func (ew *World) mergeEntRegions(regions []*entRegion) {
+	ex := ew.exScratch[:0]
+	for _, r := range regions {
+		ew.counters = ew.counters.Add(r.counters)
+		for cp, n := range r.chunkMoved {
+			u := ew.chunkUpdates[cp]
+			u.Moved += n
+			ew.chunkUpdates[cp] = u
+		}
+		for _, m := range r.moves {
+			ew.index.move(m.e, m.to)
+		}
+		ex = append(ex, r.explosions...)
+	}
+	sort.Slice(ex, func(i, j int) bool { return ex[i].id < ex[j].id })
+	for _, x := range ex {
+		ew.explosionsDue = append(ew.explosionsDue, x.pos)
+	}
+	ew.exScratch = ex
+}
+
+// replayDeferred runs the RNG-drawing mobs serially on the root context in
+// global ID order — the exact positions their draws occupy in the serial
+// stream, since no other entity in the loop draws.
+func (ew *World) replayDeferred(regions []*entRegion) {
+	def := ew.deferScratch[:0]
+	for _, r := range regions {
+		def = append(def, r.deferred...)
+	}
+	sort.Slice(def, func(i, j int) bool { return def[i].ID < def[j].ID })
+	for _, e := range def {
+		ew.root.tickEntity(e)
+	}
+	ew.deferScratch = def
+}
+
+// ApplyExplosionImpulses applies blast impulses for a whole detonation
+// batch. The scans fold into the same regioned execution as the entity
+// tick: centers partition into groups whose bucket scans cannot overlap
+// (components at Chebyshev chunk distance <= 2×reach, where reach is the
+// blast radius in chunks rounded up), each group processes its centers in
+// original batch order, and group counters merge afterwards. An entity is
+// scanned by at most one group, so its velocity accumulates in exactly the
+// serial per-center order; with few centers, few workers or one group, the
+// batch runs serially unchanged.
+func (ew *World) ApplyExplosionImpulses(centers []world.Pos, radius float64) {
+	if ew.workers < 2 || len(centers) < minParallelImpulses {
+		for _, c := range centers {
+			ew.ApplyExplosionImpulse(c, radius)
+		}
+		return
+	}
+
+	// Group centers by chunk-distance components (the shared flood fill,
+	// over scratch reused across ticks — TNT storms hit this every tick).
+	// reach is how many chunk columns a scan's bounding square can extend
+	// from the center's chunk.
+	reach := int32(int(radius)/world.ChunkSize + 1)
+	if ew.impulseScratch == nil {
+		ew.impulseScratch = make(map[world.ChunkPos]int32, 32)
+	}
+	clear(ew.impulseScratch)
+	chunkGroup := ew.impulseScratch
+	for _, c := range centers {
+		chunkGroup[world.ChunkPosAt(c)] = -1
+	}
+	nGroups := int(world.LabelComponents(chunkGroup, 2*reach, nil))
+	if nGroups < 2 {
+		for _, c := range centers {
+			ew.ApplyExplosionImpulse(c, radius)
+		}
+		return
+	}
+
+	// Second pass over the original slice keeps each group's centers in
+	// batch order.
+	for len(ew.impulseCenters) < nGroups {
+		ew.impulseCenters = append(ew.impulseCenters, nil)
+	}
+	groupCenters := ew.impulseCenters[:nGroups]
+	for i := range groupCenters {
+		groupCenters[i] = groupCenters[i][:0]
+	}
+	for _, c := range centers {
+		gid := chunkGroup[world.ChunkPosAt(c)]
+		groupCenters[gid] = append(groupCenters[gid], c)
+	}
+	for len(ew.impulseCounters) < nGroups {
+		ew.impulseCounters = append(ew.impulseCounters, Counters{})
+	}
+	groupCounters := ew.impulseCounters[:nGroups]
+	for i := range groupCounters {
+		groupCounters[i] = Counters{}
+	}
+	world.Parallel(ew.workers, nGroups, func(i int) {
+		for _, c := range groupCenters[i] {
+			ew.applyImpulse(c, radius, &groupCounters[i])
+		}
+	})
+	for i := range groupCounters {
+		ew.counters = ew.counters.Add(groupCounters[i])
+	}
+}
+
+// Add returns the component-wise sum of c and o — the merge operation for
+// per-region and per-group counters.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		MobTicks:      c.MobTicks + o.MobTicks,
+		ItemTicks:     c.ItemTicks + o.ItemTicks,
+		TNTTicks:      c.TNTTicks + o.TNTTicks,
+		InactiveSkips: c.InactiveSkips + o.InactiveSkips,
+		PathNodes:     c.PathNodes + o.PathNodes,
+		Repaths:       c.Repaths + o.Repaths,
+		Collisions:    c.Collisions + o.Collisions,
+		SpawnAttempts: c.SpawnAttempts + o.SpawnAttempts,
+		Spawns:        c.Spawns + o.Spawns,
+		Despawns:      c.Despawns + o.Despawns,
+		Moved:         c.Moved + o.Moved,
+	}
+}
+
+// ParallelStats describes how the store has been scheduling its ticks — the
+// attribution surface for the server's tick records, mirroring
+// sim.ParallelStats.
+type ParallelStats struct {
+	// Workers is the resolved worker count (Config.Workers, or GOMAXPROCS).
+	Workers int
+	// LastRegions is the region count of the last attempted partition (0
+	// when the last tick never partitioned).
+	LastRegions int
+	// LastParallel reports whether the last tick's entity loop ran on the
+	// region-parallel schedule.
+	LastParallel bool
+	// ParallelTicks counts ticks run in parallel; FallbackTicks counts
+	// ticks where a parallel attempt escaped and was rolled back to the
+	// serial loop.
+	ParallelTicks int64
+	FallbackTicks int64
+}
+
+// ParallelStats returns the store's scheduling attribution counters.
+func (ew *World) ParallelStats() ParallelStats {
+	return ParallelStats{
+		Workers:       ew.workers,
+		LastRegions:   ew.lastRegions,
+		LastParallel:  ew.lastParallel,
+		ParallelTicks: ew.parallelTicks,
+		FallbackTicks: ew.fallbackTicks,
+	}
+}

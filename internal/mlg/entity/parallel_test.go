@@ -1,0 +1,299 @@
+package entity
+
+// Store-level serial-vs-parallel equivalence for the region-parallel entity
+// tick: twin stores with identical spawn sequences run tick-locked at
+// Workers=1 (legacy serial loop) and Workers=4 (region-parallel schedule),
+// and every externally visible product — per-tick counters, per-chunk update
+// drains, detonation drains, and the full wire state snapshot — must match
+// bit for bit. Companion tests cover the escape→rollback→serial-rerun path,
+// the region-partition invariants, and the regioned blast-impulse batches.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/mlg/world"
+)
+
+// clusterOrigins lays out n cluster anchors 256 blocks apart on the X axis —
+// 16 chunks, far beyond the region link distance, so each cluster is its own
+// simulation region.
+func clusterOrigins(n int) []world.Pos {
+	out := make([]world.Pos, n)
+	for i := range out {
+		out[i] = world.Pos{X: 32 + i*256, Y: 12, Z: 32}
+	}
+	return out
+}
+
+// buildTwinWorld creates an entity world over flat terrain covering the
+// clusters and populates each cluster with items, mobs and slow-fuse TNT via
+// the public spawn API, so twin builds consume identical RNG.
+func buildTwinWorld(t testing.TB, workers, clusters int) *World {
+	t.Helper()
+	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.ActivationRange = 32 // exercise the throttling path too
+	ew := NewWorld(w, cfg, 424242)
+	for _, o := range clusterOrigins(clusters) {
+		w.EnsureArea(o, 4)
+		for i := 0; i < 30; i++ {
+			ew.SpawnItem(world.Pos{X: o.X + i%6*2, Y: 14, Z: o.Z + i/6*2}, world.Gravel)
+		}
+		for i := 0; i < 6; i++ {
+			ew.SpawnMob(world.Pos{X: o.X + 3 + i, Y: 11, Z: o.Z + 10})
+		}
+		for i := 0; i < 4; i++ {
+			// Staggered fuses so detonations drain across several ticks.
+			ew.SpawnPrimedTNT(world.Pos{X: o.X + 8, Y: 12, Z: o.Z + 4 + i}, 25+7*i)
+		}
+	}
+	return ew
+}
+
+// twinPlayers puts one player at each cluster so mobs acquire AI targets and
+// activation marking has work to do.
+func twinPlayers(clusters int) []Vec3 {
+	out := make([]Vec3, 0, clusters)
+	for _, o := range clusterOrigins(clusters) {
+		out = append(out, Vec3{X: float64(o.X) + 5.5, Y: 11, Z: float64(o.Z) + 5.5})
+	}
+	return out
+}
+
+func drainUpdatesString(ew *World) string {
+	return fmt.Sprintf("%+v", ew.DrainChunkUpdates())
+}
+
+func TestEntityTickSerialParallelEquivalence(t *testing.T) {
+	const clusters = 3
+	serial := buildTwinWorld(t, 1, clusters)
+	parallel := buildTwinWorld(t, 4, clusters)
+	players := twinPlayers(clusters)
+
+	for tick := 0; tick < 80; tick++ {
+		cs, cp := serial.Tick(players), parallel.Tick(players)
+		if cs != cp {
+			t.Fatalf("tick %d: counters diverged\nserial:   %+v\nparallel: %+v", tick, cs, cp)
+		}
+		if a, b := drainUpdatesString(serial), drainUpdatesString(parallel); a != b {
+			t.Fatalf("tick %d: chunk updates diverged\nserial:   %s\nparallel: %s", tick, a, b)
+		}
+		es, ep := serial.DrainExplosions(), parallel.DrainExplosions()
+		if fmt.Sprint(es) != fmt.Sprint(ep) {
+			t.Fatalf("tick %d: detonation order diverged\nserial:   %v\nparallel: %v", tick, es, ep)
+		}
+		if a, b := serial.AppendStateSnapshot(nil), parallel.AppendStateSnapshot(nil); !bytes.Equal(a, b) {
+			t.Fatalf("tick %d: entity state snapshots diverged (%d vs %d bytes)", tick, len(a), len(b))
+		}
+	}
+	ps := parallel.ParallelStats()
+	if ps.ParallelTicks == 0 {
+		t.Fatalf("parallel store never took the region-parallel path: %+v", ps)
+	}
+	if ss := serial.ParallelStats(); ss.ParallelTicks != 0 {
+		t.Fatalf("Workers=1 store took the parallel path: %+v", ss)
+	}
+}
+
+// TestEntityEscapeRollback forces an entity across a full region gap in one
+// tick (a velocity no simulated force produces), so the parallel attempt
+// must detect the escape, roll back, and re-run serially — still matching
+// the serial twin bit for bit.
+func TestEntityEscapeRollback(t *testing.T) {
+	const clusters = 2
+	serial := buildTwinWorld(t, 1, clusters)
+	parallel := buildTwinWorld(t, 4, clusters)
+	players := twinPlayers(clusters)
+
+	// Warm both twins into a steady state, then launch the same item at
+	// escape velocity in each.
+	for tick := 0; tick < 5; tick++ {
+		if cs, cp := serial.Tick(players), parallel.Tick(players); cs != cp {
+			t.Fatalf("warm tick %d diverged", tick)
+		}
+	}
+	kick := func(ew *World) {
+		var target *Entity
+		ew.Entities(func(e *Entity) {
+			if target == nil && e.Kind == Item && !e.Dead {
+				target = e
+			}
+		})
+		if target == nil {
+			t.Fatal("no live item to kick")
+		}
+		target.Vel.X = 120 // 7+ chunks in one tick: far outside the owned halo
+	}
+	kick(serial)
+	kick(parallel)
+
+	for tick := 0; tick < 10; tick++ {
+		cs, cp := serial.Tick(players), parallel.Tick(players)
+		if cs != cp {
+			t.Fatalf("post-kick tick %d: counters diverged\nserial:   %+v\nparallel: %+v", tick, cs, cp)
+		}
+		if a, b := serial.AppendStateSnapshot(nil), parallel.AppendStateSnapshot(nil); !bytes.Equal(a, b) {
+			t.Fatalf("post-kick tick %d: snapshots diverged", tick)
+		}
+		// Keep the drains aligned between twins.
+		serial.DrainChunkUpdates()
+		parallel.DrainChunkUpdates()
+		serial.DrainExplosions()
+		parallel.DrainExplosions()
+	}
+	if ps := parallel.ParallelStats(); ps.FallbackTicks == 0 {
+		t.Fatalf("escape never rolled a parallel attempt back: %+v", ps)
+	}
+}
+
+// TestEntityUnloadedReadPastDeferredHorizonEscapes covers the one way
+// worker-ticked entities could observe non-serial terrain: a deferred mob's
+// choosePath may GENERATE a chunk (surfaceAt → HighestSolidY) before a
+// higher-ID entity's serial turn, while the worker reads a frozen chunk
+// index. An unloaded read by an entity past the deferred-ID horizon must
+// therefore escape, roll back, and re-run serially — matching the serial
+// twin exactly.
+func TestEntityUnloadedReadPastDeferredHorizonEscapes(t *testing.T) {
+	build := func(workers int) *World {
+		w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.NaturalSpawning = false
+		ew := NewWorld(w, cfg, 99)
+		// Cluster A: one chunk of loaded terrain holding a fresh mob (no
+		// path, cooldown 0 → deferred, lowest ID), plus a higher-ID item
+		// parked over the UNLOADED adjacent chunk — same region (distance 1).
+		w.EnsureArea(world.Pos{X: 8, Z: 8}, 0)
+		ew.SpawnMob(world.Pos{X: 8, Y: 11, Z: 8})
+		ew.SpawnItem(world.Pos{X: 24, Y: 30, Z: 8}, world.Gravel)
+		// Cluster B: far-away filler so the population passes the parallel
+		// threshold and a second region exists.
+		o := world.Pos{X: 520, Y: 12, Z: 8}
+		w.EnsureArea(o, 2)
+		for i := 0; i < 40; i++ {
+			ew.SpawnItem(world.Pos{X: o.X + i%8, Y: 14, Z: o.Z + i/8}, world.Gravel)
+		}
+		return ew
+	}
+	serial, parallel := build(1), build(4)
+	for tick := 0; tick < 6; tick++ {
+		cs, cp := serial.Tick(nil), parallel.Tick(nil)
+		if cs != cp {
+			t.Fatalf("tick %d: counters diverged\nserial:   %+v\nparallel: %+v", tick, cs, cp)
+		}
+		if a, b := serial.AppendStateSnapshot(nil), parallel.AppendStateSnapshot(nil); !bytes.Equal(a, b) {
+			t.Fatalf("tick %d: snapshots diverged", tick)
+		}
+		serial.DrainChunkUpdates()
+		parallel.DrainChunkUpdates()
+	}
+	if ps := parallel.ParallelStats(); ps.FallbackTicks == 0 {
+		t.Fatalf("unloaded read past the deferred horizon never escaped: %+v", ps)
+	}
+}
+
+// TestEntityRegionPartitionProperties checks the partition invariants the
+// equivalence argument rests on: every occupied chunk column lands in
+// exactly one region's core, cores of distinct regions are farther apart
+// than the link distance, and each owned set is exactly its core plus the
+// one-chunk halo.
+func TestEntityRegionPartitionProperties(t *testing.T) {
+	ew := buildTwinWorld(t, 4, 4)
+	regions, nComps := ew.partitionEntityRegions(2)
+	if regions == nil || nComps < 2 {
+		t.Fatalf("expected >= 2 regions, got %d", nComps)
+	}
+
+	seen := make(map[world.ChunkPos]int)
+	for i, r := range regions {
+		for _, cp := range r.chunks {
+			if prev, dup := seen[cp]; dup {
+				t.Fatalf("chunk %v in regions %d and %d", cp, prev, i)
+			}
+			seen[cp] = i
+			if _, ok := r.owned[cp]; !ok {
+				t.Fatalf("region %d core chunk %v not in its owned set", i, cp)
+			}
+		}
+	}
+	for cp := range ew.index.buckets {
+		if _, ok := seen[cp]; !ok {
+			t.Fatalf("occupied chunk %v not covered by any region", cp)
+		}
+	}
+	for i, r := range regions {
+		// Owned is exactly core ⊕ 1.
+		wantOwned := make(map[world.ChunkPos]struct{})
+		for _, cp := range r.chunks {
+			for dz := int32(-1); dz <= 1; dz++ {
+				for dx := int32(-1); dx <= 1; dx++ {
+					wantOwned[world.ChunkPos{X: cp.X + dx, Z: cp.Z + dz}] = struct{}{}
+				}
+			}
+		}
+		if len(wantOwned) != len(r.owned) {
+			t.Fatalf("region %d owned set size %d, want %d", i, len(r.owned), len(wantOwned))
+		}
+		for cp := range wantOwned {
+			if _, ok := r.owned[cp]; !ok {
+				t.Fatalf("region %d missing owned chunk %v", i, cp)
+			}
+		}
+		// Cross-region core separation beyond the link distance.
+		for j, o := range regions {
+			if j <= i {
+				continue
+			}
+			for _, a := range r.chunks {
+				for _, b := range o.chunks {
+					dx, dz := a.X-b.X, a.Z-b.Z
+					if dx < 0 {
+						dx = -dx
+					}
+					if dz < 0 {
+						dz = -dz
+					}
+					d := dx
+					if dz > d {
+						d = dz
+					}
+					if d <= entRegionLinkChunks {
+						t.Fatalf("regions %d and %d have cores %v,%v at distance %d <= link %d",
+							i, j, a, b, d, entRegionLinkChunks)
+					}
+				}
+			}
+		}
+	}
+	ew.releaseEntRegions(regions)
+}
+
+// TestApplyExplosionImpulsesEquivalence compares a regioned impulse batch
+// against the serial per-center loop on twin stores: entity state and
+// collision counters must match exactly.
+func TestApplyExplosionImpulsesEquivalence(t *testing.T) {
+	const clusters = 4
+	serial := buildTwinWorld(t, 1, clusters)
+	parallel := buildTwinWorld(t, 4, clusters)
+
+	var centers []world.Pos
+	for _, o := range clusterOrigins(clusters) {
+		centers = append(centers,
+			world.Pos{X: o.X + 2, Y: 13, Z: o.Z + 2},
+			world.Pos{X: o.X + 5, Y: 13, Z: o.Z + 3},
+		)
+	}
+	serial.ApplyExplosionImpulses(centers, 4)
+	parallel.ApplyExplosionImpulses(centers, 4)
+
+	if serial.counters != parallel.counters {
+		t.Fatalf("impulse counters diverged\nserial:   %+v\nparallel: %+v",
+			serial.counters, parallel.counters)
+	}
+	if a, b := serial.AppendStateSnapshot(nil), parallel.AppendStateSnapshot(nil); !bytes.Equal(a, b) {
+		t.Fatal("impulse batches left diverging entity state")
+	}
+}

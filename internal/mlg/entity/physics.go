@@ -14,17 +14,20 @@ const (
 
 // stepPhysics integrates one tick of motion with terrain collision: gravity,
 // drag, axis-separated movement against solid blocks, and fluid push — the
-// entity-collision workload the TNT world stresses (§3.3.1).
-func (ew *World) stepPhysics(e *Entity) {
+// entity-collision workload the TNT world stresses (§3.3.1). It runs on a
+// tick context so the serial loop and the region-parallel workers share one
+// implementation: terrain reads go through the context's chunk cache and
+// collision counts through the context's counters.
+func (c *tickCtx) stepPhysics(e *Entity) {
 	// Fluid interaction: buoyancy plus the stream push farms use to carry
 	// item drops toward hoppers.
 	feet := e.Pos.BlockPos()
-	if b, ok := ew.wc.BlockIfLoaded(feet); ok && b.IsFluid() {
+	if b, ok := c.blockIfLoaded(feet); ok && b.IsFluid() {
 		e.Vel.Y += buoyancy
 		if e.Vel.Y > 0.1 {
 			e.Vel.Y = 0.1
 		}
-		flow := ew.flowDirection(feet, b)
+		flow := c.flowDirection(feet, b)
 		e.Vel = e.Vel.Add(flow.Scale(fluidPush))
 	} else {
 		e.Vel.Y -= gravity
@@ -35,9 +38,9 @@ func (ew *World) stepPhysics(e *Entity) {
 
 	// Axis-separated movement with collision.
 	e.OnGround = false
-	e.Pos.X = ew.moveAxis(e, e.Pos.X, e.Vel.X, axisX)
-	e.Pos.Z = ew.moveAxis(e, e.Pos.Z, e.Vel.Z, axisZ)
-	e.Pos.Y = ew.moveAxis(e, e.Pos.Y, e.Vel.Y, axisY)
+	e.Pos.X = c.moveAxis(e, e.Pos.X, e.Vel.X, axisX)
+	e.Pos.Z = c.moveAxis(e, e.Pos.Z, e.Vel.Z, axisZ)
+	e.Pos.Y = c.moveAxis(e, e.Pos.Y, e.Vel.Y, axisY)
 
 	// Drag and ground friction.
 	e.Vel.X *= drag
@@ -59,7 +62,7 @@ const (
 
 // moveAxis advances one coordinate by delta, stopping at the first solid
 // block. Entities are modelled as a 1×2 column (feet plus head).
-func (ew *World) moveAxis(e *Entity, cur, delta float64, ax axis) float64 {
+func (c *tickCtx) moveAxis(e *Entity, cur, delta float64, ax axis) float64 {
 	if delta == 0 {
 		return cur
 	}
@@ -73,8 +76,8 @@ func (ew *World) moveAxis(e *Entity, cur, delta float64, ax axis) float64 {
 	case axisZ:
 		probe.Z = next
 	}
-	ew.counters.Collisions++
-	if ew.collides(probe) {
+	c.counters.Collisions++
+	if c.collides(probe) {
 		switch ax {
 		case axisY:
 			if delta < 0 {
@@ -93,13 +96,13 @@ func (ew *World) moveAxis(e *Entity, cur, delta float64, ax axis) float64 {
 }
 
 // collides reports whether an entity column at pos intersects solid terrain.
-func (ew *World) collides(pos Vec3) bool {
+func (c *tickCtx) collides(pos Vec3) bool {
 	feet := pos.BlockPos()
 	head := feet.Up()
-	if b, ok := ew.wc.BlockIfLoaded(feet); ok && b.IsSolid() {
+	if b, ok := c.blockIfLoaded(feet); ok && b.IsSolid() {
 		return true
 	}
-	if b, ok := ew.wc.BlockIfLoaded(head); ok && b.IsSolid() {
+	if b, ok := c.blockIfLoaded(head); ok && b.IsSolid() {
 		return true
 	}
 	return false
@@ -108,12 +111,12 @@ func (ew *World) collides(pos Vec3) bool {
 // flowDirection returns the horizontal direction fluid at p flows: toward
 // the adjacent fluid cell with the highest level number (thinner = further
 // downstream), or toward an adjacent drop.
-func (ew *World) flowDirection(p world.Pos, b world.Block) Vec3 {
+func (c *tickCtx) flowDirection(p world.Pos, b world.Block) Vec3 {
 	level := int(b.Meta)
 	var dir Vec3
 	best := level
 	for _, n := range p.NeighborsHorizontal() {
-		nb, ok := ew.wc.BlockIfLoaded(n)
+		nb, ok := c.blockIfLoaded(n)
 		if !ok {
 			continue
 		}
@@ -122,7 +125,7 @@ func (ew *World) flowDirection(p world.Pos, b world.Block) Vec3 {
 			best = int(nb.Meta)
 			dir = Vec3{X: float64(n.X - p.X), Z: float64(n.Z - p.Z)}
 		} else if nb.IsAir() {
-			if below, ok2 := ew.wc.BlockIfLoaded(n.Down()); ok2 && (below.IsAir() || below.IsFluid()) {
+			if below, ok2 := c.blockIfLoaded(n.Down()); ok2 && (below.IsAir() || below.IsFluid()) {
 				dir = Vec3{X: float64(n.X - p.X), Z: float64(n.Z - p.Z)}
 				best = 99
 			}

@@ -1,0 +1,91 @@
+package entity
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/mlg/world"
+)
+
+func snapshotSeedEntities() []Entity {
+	return []Entity{
+		{ID: 1, Kind: Mob, Pos: Vec3{X: 8.5, Y: 11, Z: 8.5}, Vel: Vec3{X: 0.1, Z: -0.1}, Age: 7, OnGround: true},
+		{ID: 2, Kind: Item, Pos: Vec3{X: -3.25, Y: 64, Z: 1e9}, Vel: Vec3{Y: -3}, Age: 5999, ItemType: world.Gravel},
+		{ID: 3, Kind: PrimedTNT, Pos: Vec3{}, Vel: Vec3{}, Fuse: 80},
+		{ID: -9, Kind: Item, Pos: Vec3{X: math.Inf(1), Y: math.NaN(), Z: -0.0}, Dead: true, ItemType: world.Kelp},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, e := range snapshotSeedEntities() {
+		e := e
+		enc := AppendSnapshot(nil, &e)
+		if len(enc) != snapshotSize {
+			t.Fatalf("entity %d: snapshot %d bytes, want %d", e.ID, len(enc), snapshotSize)
+		}
+		dec, rest, err := DecodeSnapshot(enc)
+		if err != nil {
+			t.Fatalf("entity %d: decode: %v", e.ID, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("entity %d: %d trailing bytes", e.ID, len(rest))
+		}
+		if !bytes.Equal(AppendSnapshot(nil, &dec), enc) {
+			t.Fatalf("entity %d: re-encoded snapshot differs (float bits must round-trip)", e.ID)
+		}
+		if dec.ID != e.ID || dec.Kind != e.Kind || dec.Age != e.Age || dec.Fuse != e.Fuse ||
+			dec.ItemType != e.ItemType || dec.OnGround != e.OnGround || dec.Dead != e.Dead {
+			t.Fatalf("entity %d: fields diverged: %+v vs %+v", e.ID, dec, e)
+		}
+	}
+}
+
+func TestSnapshotRejectsTruncatedAndInvalid(t *testing.T) {
+	e := snapshotSeedEntities()[0]
+	enc := AppendSnapshot(nil, &e)
+	if _, _, err := DecodeSnapshot(enc[:snapshotSize-1]); err != ErrSnapshotTruncated {
+		t.Fatalf("truncated record: err = %v, want ErrSnapshotTruncated", err)
+	}
+	bad := append([]byte(nil), enc...)
+	bad[8] = 200 // kind out of range
+	if _, _, err := DecodeSnapshot(bad); err != ErrSnapshotInvalid {
+		t.Fatalf("bad kind: err = %v, want ErrSnapshotInvalid", err)
+	}
+	bad = append(bad[:0], enc...)
+	bad[9] = 0xF0 // undefined flag bits
+	if _, _, err := DecodeSnapshot(bad); err != ErrSnapshotInvalid {
+		t.Fatalf("bad flags: err = %v, want ErrSnapshotInvalid", err)
+	}
+}
+
+// FuzzEntitySnapshot is the entity wire-serialization round-trip target run
+// by the CI fuzz smoke step: any byte string the decoder accepts must
+// re-encode to exactly the bytes consumed, and decode again to the same
+// entity.
+func FuzzEntitySnapshot(f *testing.F) {
+	for _, e := range snapshotSeedEntities() {
+		e := e
+		f.Add(AppendSnapshot(nil, &e))
+	}
+	f.Add(make([]byte, snapshotSize))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, rest, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		consumed := data[:len(data)-len(rest)]
+		enc := AppendSnapshot(nil, &e)
+		if !bytes.Equal(enc, consumed) {
+			t.Fatalf("re-encode mismatch:\nconsumed %x\nencoded  %x", consumed, enc)
+		}
+		e2, rest2, err := DecodeSnapshot(enc)
+		if err != nil || len(rest2) != 0 {
+			t.Fatalf("canonical bytes failed to decode: %v (%d trailing)", err, len(rest2))
+		}
+		if !bytes.Equal(AppendSnapshot(nil, &e2), enc) {
+			t.Fatal("second round trip diverged")
+		}
+	})
+}

@@ -2,6 +2,7 @@ package entity
 
 import (
 	"math/rand"
+	"runtime"
 
 	"repro/internal/mlg/world"
 )
@@ -35,6 +36,13 @@ type Config struct {
 	// item-merge optimization that keeps TNT storms from flooding the
 	// entity list.
 	ItemMergeCells int
+	// Workers is the number of goroutines ticking independent entity regions
+	// per tick (the same pool discipline and knob as sim.Config.SimWorkers;
+	// the server wires both from one setting). 0 means GOMAXPROCS; 1 keeps
+	// the legacy serial loop. Whatever the value, output is bit-identical:
+	// parallel.go routes every RNG-drawing decision through a serial replay
+	// pass and rolls the tick back whenever it cannot prove equivalence.
+	Workers int
 }
 
 // DefaultConfig returns vanilla-like entity settings.
@@ -115,6 +123,31 @@ type World struct {
 	explosionsDue []world.Pos
 
 	counters Counters
+
+	// root is the store's own tick-execution context: the serial loop, the
+	// deferred-decision replay pass and the impulse fallback all run through
+	// it, reading the fields above exactly as the pre-region-split store did.
+	root tickCtx
+	// workers is the resolved Workers value (0 → GOMAXPROCS at creation).
+	workers int
+
+	// Parallel-schedule scratch, reused across ticks (see parallel.go).
+	regionScratch   map[world.ChunkPos]int32
+	regionPool      []*entRegion
+	deferScratch    []*Entity
+	exScratch       []entExplosion
+	impulseScratch  map[world.ChunkPos]int32
+	impulseCenters  [][]world.Pos
+	impulseCounters []Counters
+
+	// Parallel-schedule attribution (see ParallelStats), plus the serial-hold
+	// hysteresis that keeps a workload which just rolled back (or refuses to
+	// partition) off the partitioning cost for a few ticks.
+	lastRegions   int
+	lastParallel  bool
+	parallelTicks int64
+	fallbackTicks int64
+	serialHold    int
 }
 
 // NewWorld creates an entity world bound to the terrain, seeded
@@ -132,6 +165,11 @@ func NewWorld(w *world.World, cfg Config, seed int64) *World {
 		chunkVersion: make(map[world.ChunkPos]uint64),
 		itemCells:    make(map[world.Pos]int64),
 	}
+	ew.workers = cfg.Workers
+	if ew.workers <= 0 {
+		ew.workers = runtime.GOMAXPROCS(0)
+	}
+	ew.root = tickCtx{ew: ew, wc: &ew.wc, counters: &ew.counters}
 	w.OnChange(func(p world.Pos, old, new world.Block) {
 		ew.chunkVersion[world.ChunkPosAt(p)]++
 	})
@@ -247,7 +285,15 @@ func (ew *World) DrainExplosions() []world.Pos {
 // ApplyExplosionImpulse applies blast effects to entities around a
 // detonation: items near the centre are destroyed, everything else in range
 // is knocked away. This is the entity-collision side of the TNT workload.
+// For a tick's whole detonation batch, ApplyExplosionImpulses runs these
+// scans region-parallel.
 func (ew *World) ApplyExplosionImpulse(center world.Pos, radius float64) {
+	ew.applyImpulse(center, radius, &ew.counters)
+}
+
+// applyImpulse is the shared impulse scan, writing collision counts to the
+// given counters so regioned batches can account per group and merge.
+func (ew *World) applyImpulse(center world.Pos, radius float64, counters *Counters) {
 	c := Center(center)
 	ew.forEachNear(c, radius, func(e *Entity) {
 		if e.Dead {
@@ -257,7 +303,7 @@ func (ew *World) ApplyExplosionImpulse(center world.Pos, radius float64) {
 		if d > radius {
 			return
 		}
-		ew.counters.Collisions++
+		counters.Collisions++
 		if e.Kind == Item && d < radius/2 {
 			e.Dead = true
 			return
@@ -274,6 +320,14 @@ func (ew *World) ApplyExplosionImpulse(center world.Pos, radius float64) {
 // Tick advances every entity one game tick. players gives current player
 // positions (for activation ranges, AI targets, and natural spawning). The
 // returned counters describe the tick's entity work.
+//
+// The per-entity loop — AI, physics, collision, the tick's hot path — runs
+// region-parallel on the SimWorkers pool when the population partitions into
+// independent regions (see parallel.go); otherwise, and as the universal
+// fallback, it runs the legacy serial loop. Either way the output is bit
+// for bit what the serial loop produces. The phases around it (activation
+// marking, natural spawning, compaction) consume the store RNG in global
+// order and stay serial.
 func (ew *World) Tick(players []Vec3) Counters {
 	// Counters are NOT reset here: spawns requested by the terrain phase
 	// (which runs before the entity phase within a server tick) must be
@@ -283,40 +337,9 @@ func (ew *World) Tick(players []Vec3) Counters {
 	ew.grid = newPlayerGrid(players)
 	ew.markActive(players)
 
-	for _, e := range ew.list {
-		if e.Dead {
-			continue
-		}
-		e.Age++
-		if ew.throttled(e) {
-			ew.counters.InactiveSkips++
-			continue
-		}
-		before := e.Pos.BlockPos()
-		switch e.Kind {
-		case Mob:
-			ew.counters.MobTicks++
-			ew.tickMob(e)
-		case Item:
-			ew.counters.ItemTicks++
-			ew.tickItem(e)
-		case PrimedTNT:
-			ew.counters.TNTTicks++
-			e.Fuse--
-			ew.stepPhysics(e)
-			if e.Fuse <= 0 {
-				e.Dead = true
-				ew.explosionsDue = append(ew.explosionsDue, e.Pos.BlockPos())
-			}
-		}
-		if !e.Dead {
-			if after := e.Pos.BlockPos(); after != before {
-				ew.counters.Moved++
-				if nc := world.ChunkPosAt(after); nc != e.chunk {
-					ew.index.move(e, nc)
-				}
-				ew.noteMoved(e.chunk)
-			}
+	if !ew.tryParallelTick() {
+		for _, e := range ew.list {
+			ew.root.tickEntity(e)
 		}
 	}
 
@@ -327,6 +350,71 @@ func (ew *World) Tick(players []Vec3) Counters {
 	out := ew.counters
 	ew.counters = Counters{}
 	return out
+}
+
+// tickEntity advances one entity through its game tick on the given context:
+// ageing, activation throttling, the kind switch, and movement bookkeeping.
+// This is the one copy of the per-entity tick body; the serial loop runs it
+// on the root context and region workers on region contexts, so the two
+// paths cannot drift apart.
+func (c *tickCtx) tickEntity(e *Entity) {
+	if e.Dead {
+		return
+	}
+	e.Age++
+	if c.ew.throttled(e) {
+		c.counters.InactiveSkips++
+		return
+	}
+	before := e.Pos.BlockPos()
+	switch e.Kind {
+	case Mob:
+		c.counters.MobTicks++
+		c.tickMob(e)
+	case Item:
+		c.counters.ItemTicks++
+		c.tickItem(e)
+	case PrimedTNT:
+		c.counters.TNTTicks++
+		e.Fuse--
+		c.stepPhysics(e)
+		if e.Fuse <= 0 {
+			e.Dead = true
+			if r := c.region; r != nil {
+				// Buffered: the merge re-emits detonations in entity-ID
+				// (serial pop) order — see mergeEntRegions.
+				r.explosions = append(r.explosions, entExplosion{id: e.ID, pos: e.Pos.BlockPos()})
+			} else {
+				c.ew.explosionsDue = append(c.ew.explosionsDue, e.Pos.BlockPos())
+			}
+		}
+	}
+	if r := c.region; r != nil && r.escaped {
+		return
+	}
+	if !e.Dead {
+		if after := e.Pos.BlockPos(); after != before {
+			c.counters.Moved++
+			nc := world.ChunkPosAt(after)
+			if r := c.region; r != nil {
+				if nc != e.chunk {
+					if _, ok := r.owned[nc]; !ok {
+						// The entity left the region's owned chunks: the
+						// rebucket cannot be proven local. Roll the tick back.
+						r.escaped = true
+						return
+					}
+					r.moves = append(r.moves, entMove{e: e, to: nc})
+				}
+				r.chunkMoved[nc]++
+			} else {
+				if nc != e.chunk {
+					c.ew.index.move(e, nc)
+				}
+				c.ew.noteMoved(e.chunk)
+			}
+		}
+	}
 }
 
 // markActive stamps every entity within activation range of a player with
@@ -350,8 +438,12 @@ func (ew *World) markActive(players []Vec3) {
 }
 
 // throttled implements the PaperMC activation-range optimization: entities
-// far from every player tick once in four.
-func (ew *World) throttled(e *Entity) bool {
+// far from every player tick once in four. It reads the entity's
+// already-incremented Age; throttledAt is the shared predicate, also used by
+// the parallel scheduler to pre-classify entities without mutating them.
+func (ew *World) throttled(e *Entity) bool { return ew.throttledAt(e, e.Age) }
+
+func (ew *World) throttledAt(e *Entity, age int) bool {
 	if ew.cfg.ActivationRange <= 0 || e.Kind == PrimedTNT {
 		return false
 	}
@@ -360,7 +452,7 @@ func (ew *World) throttled(e *Entity) bool {
 	}
 	// The 1-in-4 schedule is phase-shifted per entity so throttled mobs do
 	// not bunch onto the same tick.
-	return (e.Age+int(e.ID))%4 != 0
+	return (age+int(e.ID))%4 != 0
 }
 
 // compact removes dead and expired entities. Mobs that die drop loot (the

@@ -1,0 +1,133 @@
+package server
+
+// Guards for the virtual-player block-change elision: servers with no real
+// TCP connection skip materializing per-block BlockChange packets (the
+// dominant buffering overhead of TNT crater ticks) while keeping the
+// dissemination accounting identical, and servers WITH a real connection
+// must keep producing the exact same bytes on the wire as before.
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/mlg/world"
+	"repro/internal/protocol"
+)
+
+// captureConn records everything written to it.
+type captureConn struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (c *captureConn) Read(p []byte) (int, error) { return 0, io.EOF }
+func (c *captureConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
+}
+func (c *captureConn) Close() error { return nil }
+
+func (c *captureConn) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.buf.Bytes()...)
+}
+
+// readerConn replays a captured stream through protocol.Conn for decoding.
+type readerConn struct{ r *bytes.Reader }
+
+func (c readerConn) Read(p []byte) (int, error)  { return c.r.Read(p) }
+func (c readerConn) Write(p []byte) (int, error) { return len(p), nil }
+func (c readerConn) Close() error                { return nil }
+
+func testChanges() []protocol.BlockChange {
+	out := make([]protocol.BlockChange, 0, 24)
+	for i := 0; i < 24; i++ {
+		out = append(out, protocol.BlockChange{
+			X: int32(4 + i%6), Y: int32(11 + i/6), Z: int32(4 + i%5),
+			BlockID: uint8(world.Stone), Meta: 0,
+		})
+	}
+	return out
+}
+
+// TestBlockChangeRealConnByteEquivalence: with a socket-backed player, every
+// terrain mutation must still reach the wire as a BlockChange packet whose
+// bytes equal the reference encoding, in mutation order — the elision may
+// never alter what real connections receive.
+func TestBlockChangeRealConnByteEquivalence(t *testing.T) {
+	s, _ := newTestServer(t, Vanilla)
+	cap := &captureConn{}
+	p := s.connect("wired", protocol.NewConn(cap))
+	p.pendingChunks = nil // skip the join burst; isolate the update stream
+
+	changes := testChanges()
+	for _, c := range changes {
+		s.w.SetBlock(world.Pos{X: int(c.X), Y: int(c.Y), Z: int(c.Z)},
+			world.Block{ID: world.BlockID(c.BlockID), Meta: c.Meta})
+	}
+	s.Tick()
+
+	// Decode the captured stream and collect the BlockChange packets.
+	conn := protocol.NewConn(readerConn{r: bytes.NewReader(cap.bytes())})
+	var got []protocol.BlockChange
+	for {
+		pkt, _, err := conn.ReadPacket()
+		if err != nil {
+			break
+		}
+		if bc, ok := pkt.(*protocol.BlockChange); ok {
+			got = append(got, *bc)
+		}
+	}
+	if len(got) != len(changes) {
+		t.Fatalf("real conn received %d BlockChange packets, want %d", len(got), len(changes))
+	}
+	for i := range changes {
+		want := protocol.AppendFrame(nil, &changes[i])
+		have := protocol.AppendFrame(nil, &got[i])
+		if !bytes.Equal(want, have) {
+			t.Fatalf("change %d: wire bytes diverged:\nwant %x\ngot  %x", i, want, have)
+		}
+	}
+}
+
+// TestBlockChangeElisionVirtualOnly: with only virtual players, the
+// per-block packet buffer must stay empty while the count — and with it the
+// dissemination accounting — exactly matches a socket-backed twin.
+func TestBlockChangeElisionVirtualOnly(t *testing.T) {
+	virtual, _ := newTestServer(t, Vanilla)
+	real, _ := newTestServer(t, Vanilla)
+	vp := virtual.Connect("ghost")
+	vp.pendingChunks = nil
+	rp := real.connect("wired", protocol.NewConn(&captureConn{}))
+	rp.pendingChunks = nil
+
+	changes := testChanges()
+	for _, c := range changes {
+		pos := world.Pos{X: int(c.X), Y: int(c.Y), Z: int(c.Z)}
+		b := world.Block{ID: world.BlockID(c.BlockID), Meta: c.Meta}
+		virtual.w.SetBlock(pos, b)
+		real.w.SetBlock(pos, b)
+	}
+
+	if n := len(virtual.blockChanges); n != 0 {
+		t.Fatalf("virtual-only server materialized %d BlockChange packets", n)
+	}
+	if virtual.blockChangeCount != len(changes) {
+		t.Fatalf("virtual-only count = %d, want %d", virtual.blockChangeCount, len(changes))
+	}
+	if len(real.blockChanges) != len(changes) {
+		t.Fatalf("real-conn server buffered %d packets, want %d", len(real.blockChanges), len(changes))
+	}
+
+	virtual.Tick()
+	real.Tick()
+	nv, nr := virtual.NetTotals(), real.NetTotals()
+	if nv != nr {
+		t.Fatalf("dissemination accounting diverged:\nvirtual: %+v\nreal:    %+v", nv, nr)
+	}
+}

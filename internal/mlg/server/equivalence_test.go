@@ -2,17 +2,19 @@ package server_test
 
 // Serial-vs-parallel equivalence matrix at the server level: every workload
 // x flavor runs tick-locked twin servers — SimWorkers=1 (legacy serial
-// drain) vs SimWorkers=4 (region-parallel schedule) — and asserts identical
-// sim.Counters on every tick plus identical world contents at the end.
-// Construct workloads run at Scale 2, which lays out two separated
-// construct clusters, so the parallel engine actually partitions into
-// multiple regions and takes the worker-pool path.
+// paths) vs SimWorkers=4 (region-parallel schedules) — and asserts
+// identical sim.Counters AND entity.Counters on every tick plus identical
+// world contents and entity state at the end. Construct workloads run at
+// Scale 2, which lays out two separated construct clusters, so both the
+// terrain engine and the entity store actually partition into multiple
+// regions and take the worker-pool path.
 //
 // This matrix is the gate future simulation changes must pass: any rule,
 // queueing or scheduling change that breaks serial/parallel bit-equality
 // fails here tick-by-tick, with the first divergent counter visible.
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"testing"
@@ -74,13 +76,17 @@ func TestSerialParallelTickMatrix(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/%s", k, f.Name), func(t *testing.T) {
 				serial := newMatrixServer(k, f, 1)
 				parallel := newMatrixServer(k, f, 4)
-				parallelTicks := 0
+				parallelTicks, entParallelTicks := 0, 0
 				for i := 0; i < ticksFor(k); i++ {
 					rs := serial.Tick()
 					rp := parallel.Tick()
 					if rs.Sim != rp.Sim {
 						t.Fatalf("tick %d: sim counters diverged\nserial:   %+v\nparallel: %+v",
 							i+1, rs.Sim, rp.Sim)
+					}
+					if rs.Ent != rp.Ent {
+						t.Fatalf("tick %d: entity counters diverged\nserial:   %+v\nparallel: %+v",
+							i+1, rs.Ent, rp.Ent)
 					}
 					if rs.Work != rp.Work {
 						t.Fatalf("tick %d: cost-model work diverged\nserial:   %+v\nparallel: %+v",
@@ -92,8 +98,11 @@ func TestSerialParallelTickMatrix(t *testing.T) {
 					if rp.SimParallel {
 						parallelTicks++
 					}
-					if rs.SimParallel {
-						t.Fatalf("tick %d: SimWorkers=1 server took the parallel path", i+1)
+					if rp.EntParallel {
+						entParallelTicks++
+					}
+					if rs.SimParallel || rs.EntParallel {
+						t.Fatalf("tick %d: SimWorkers=1 server took a parallel path", i+1)
 					}
 				}
 				if a, b := terrainChecksum(serial.World()), terrainChecksum(parallel.World()); a != b {
@@ -102,16 +111,28 @@ func TestSerialParallelTickMatrix(t *testing.T) {
 				if sc, pc := serial.EntityWorld().Count(), parallel.EntityWorld().Count(); sc != pc {
 					t.Fatalf("final entity population diverged: %d vs %d", sc, pc)
 				}
+				sSnap := serial.EntityWorld().AppendStateSnapshot(nil)
+				pSnap := parallel.EntityWorld().AppendStateSnapshot(nil)
+				if !bytes.Equal(sSnap, pSnap) {
+					t.Fatalf("final entity state snapshots diverged (%d vs %d bytes)",
+						len(sSnap), len(pSnap))
+				}
 				if ic1, ic2 := serial.Engine().ItemsCollected, parallel.Engine().ItemsCollected; ic1 != ic2 {
 					t.Fatalf("items collected diverged: %d vs %d", ic1, ic2)
 				}
 				// The construct workloads must actually exercise the
-				// region-parallel schedule (two clusters at Scale 2).
+				// region-parallel schedules (two clusters at Scale 2): the
+				// terrain drains for the redstone-driven workloads, the
+				// entity tick for the entity-heavy ones.
 				if k == workload.Farm || k == workload.Lag {
 					if parallelTicks == 0 {
 						t.Fatalf("%s scale 2 never drained in parallel: %+v",
 							k, parallel.Engine().ParallelStats())
 					}
+				}
+				if k == workload.TNT && entParallelTicks == 0 {
+					t.Fatalf("%s scale 2 never ticked entities in parallel: %+v",
+						k, parallel.EntityWorld().ParallelStats())
 				}
 			})
 		}

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/env"
@@ -32,10 +33,12 @@ type Config struct {
 	ClientTimeout time.Duration
 	// KeepAliveEvery is the keep-alive broadcast period (default 5 s).
 	KeepAliveEvery time.Duration
-	// SimWorkers is the terrain-simulation drain parallelism: 0 means
-	// GOMAXPROCS, 1 forces the legacy serial drain (the differential-testing
-	// baseline). Any value produces bit-identical simulation output; see
-	// sim.Config.SimWorkers.
+	// SimWorkers is the per-tick simulation parallelism of both
+	// world-exclusive phases — the terrain drain (sim.Config.SimWorkers) and
+	// the entity tick (entity.Config.Workers) share the knob and the worker
+	// pool: 0 means GOMAXPROCS, 1 forces the legacy serial paths (the
+	// differential-testing baseline). Any value produces bit-identical
+	// simulation output.
 	SimWorkers int
 }
 
@@ -112,12 +115,18 @@ type TickRecord struct {
 	// explosion work routed back after the entity phase) — the quantity the
 	// serial-vs-parallel equivalence matrix compares tick by tick.
 	Sim sim.Counters
-	// SimRegions and SimParallel attribute the tick's drain schedule: how
-	// many independent regions the update queues partitioned into, and
-	// whether the drains actually ran on the worker pool (false = serial
-	// path or rolled-back parallel attempt).
+	// Ent is the tick's raw entity-phase counters, compared tick by tick by
+	// the same matrix.
+	Ent entity.Counters
+	// SimRegions and SimParallel attribute the tick's terrain-drain
+	// schedule: how many independent regions the update queues partitioned
+	// into, and whether the drains actually ran on the worker pool (false =
+	// serial path or rolled-back parallel attempt). EntRegions and
+	// EntParallel attribute the entity phase the same way.
 	SimRegions  int
 	SimParallel bool
+	EntRegions  int
+	EntParallel bool
 }
 
 // NetTotals aggregates outbound traffic for Table 8.
@@ -164,8 +173,17 @@ type Server struct {
 	sendScratch sendBuffers
 
 	// blockChanges collects this tick's terrain state updates for
-	// dissemination (count always; positions kept for real connections).
-	blockChanges []protocol.BlockChange
+	// dissemination. The count (blockChangeCount) is always maintained for
+	// the accounting path; the materialized packets are buffered only while
+	// at least one real TCP connection exists (realConns) — virtual players
+	// never read them, and skipping the per-block append removes the
+	// dominant buffering overhead of TNT crater ticks on virtual-only runs.
+	blockChanges     []protocol.BlockChange
+	blockChangeCount int
+	// realConns counts socket-backed sessions. It is read by the world's
+	// change listener (tick goroutine, under the world lock) and written by
+	// connect/remove (any goroutine), hence atomic.
+	realConns atomic.Int32
 
 	tick        int64
 	records     []TickRecord
@@ -239,18 +257,31 @@ func New(w *world.World, cfg Config, machine *env.Machine, clock env.Clock) *Ser
 		sizes:         measuredSizes(),
 		stopped:       make(chan struct{}),
 	}
-	s.ents = entity.NewWorld(w, cfg.Flavor.EntityConfig(), cfg.Seed+1)
+	entCfg := cfg.Flavor.EntityConfig()
+	entCfg.Workers = cfg.SimWorkers
+	s.ents = entity.NewWorld(w, entCfg, cfg.Seed+1)
 	simCfg := cfg.Flavor.SimConfig()
 	simCfg.SimWorkers = cfg.SimWorkers
 	s.engine = sim.New(w, s.ents, simCfg, cfg.Seed+2)
+	// A real conn that appears mid-tick (realConns flips to >0 after some
+	// changes were already elided) receives only the rest of that tick's
+	// BlockChange packets. That loses nothing: a joining player's world
+	// state comes from its chunk-send burst, and chunk payloads are
+	// serialized at dissemination time — after this tick's mutations — so
+	// the elided packets would have been strictly redundant for it.
 	w.OnChange(func(p world.Pos, old, new world.Block) {
-		if len(s.blockChanges) < 20000 {
+		if s.blockChangeCount >= 20000 {
+			// Overflow: count resets, burst capped (this change is dropped).
+			s.blockChangeCount = 0
+			s.blockChanges = s.blockChanges[:0]
+			return
+		}
+		s.blockChangeCount++
+		if s.realConns.Load() > 0 {
 			s.blockChanges = append(s.blockChanges, protocol.BlockChange{
 				X: int32(p.X), Y: int32(p.Y), Z: int32(p.Z),
 				BlockID: uint8(new.ID), Meta: new.Meta,
 			})
-		} else {
-			s.blockChanges = s.blockChanges[:0] // overflow: count resets, burst capped
 		}
 	})
 	gen, _, _ := w.Stats()
@@ -305,6 +336,9 @@ func (s *Server) connect(name string, conn *protocol.Conn) *Player {
 	p.ID = s.nextPID
 	s.players[p.ID] = p
 	s.order = append(s.order, p.ID)
+	if conn != nil {
+		s.realConns.Add(1)
+	}
 	s.mu.Unlock()
 	return p
 }
@@ -320,6 +354,7 @@ func (s *Server) removeLocked(id int64) {
 	if p, ok := s.players[id]; ok {
 		if p.conn != nil {
 			p.conn.Close()
+			s.realConns.Add(-1)
 		}
 		delete(s.players, id)
 		for i, pid := range s.order {
@@ -453,13 +488,15 @@ func (s *Server) Tick() TickRecord {
 	counts.ent = s.ents.Tick(positions)
 
 	// Phase 3b: route TNT detonations back into the terrain engine and
-	// apply blast impulses to nearby entities.
+	// apply blast impulses to nearby entities. The impulse scans run on the
+	// same regioned schedule as the entity tick when the batch partitions
+	// (their collision counts accumulate into the store's counters and are
+	// attributed to the next tick, exactly as the serial per-center loop
+	// always did).
 	if centers := s.ents.DrainExplosions(); len(centers) > 0 {
 		_, delta := s.engine.MergedExplosions(centers, sim.ExplosionRadius)
 		counts.sim = counts.sim.Add(delta)
-		for _, c := range centers {
-			s.ents.ApplyExplosionImpulse(c, sim.ExplosionRadius)
-		}
+		s.ents.ApplyExplosionImpulses(centers, sim.ExplosionRadius)
 	}
 
 	// Phase 4: dissemination through the outgoing networking queues.
@@ -529,6 +566,7 @@ func (s *Server) Tick() TickRecord {
 	s.fig11.WaitAfterUS += float64(waitAfter) / float64(time.Microsecond)
 
 	ps := s.engine.ParallelStats()
+	es := s.ents.ParallelStats()
 	rec := TickRecord{
 		Tick:        s.tick,
 		Start:       start,
@@ -541,8 +579,11 @@ func (s *Server) Tick() TickRecord {
 		Backlog:     counts.sim.Backlog,
 		Crashed:     crashed,
 		Sim:         counts.sim,
+		Ent:         counts.ent,
 		SimRegions:  ps.LastRegions,
 		SimParallel: ps.LastParallel,
+		EntRegions:  es.LastRegions,
+		EntParallel: es.LastParallel,
 	}
 	s.records = append(s.records, rec)
 	s.mu.Unlock()
@@ -661,7 +702,9 @@ func (s *Server) handlePacket(in inbound, counts *tickCounts) {
 func (s *Server) disseminate(counts *tickCounts) {
 	s.mu.Lock()
 	bc := s.blockChanges
+	nBC := s.blockChangeCount
 	s.blockChanges = nil
+	s.blockChangeCount = 0
 	nPlayers := len(s.order)
 	players := make([]*Player, 0, nPlayers)
 	for _, pid := range s.order {
@@ -686,8 +729,10 @@ func (s *Server) disseminate(counts *tickCounts) {
 	}
 
 	// Terrain updates go to every player (workload areas sit inside view
-	// distance in all benchmark worlds).
-	addMsgs(len(bc)*nPlayers, s.sizes.blockChange, false)
+	// distance in all benchmark worlds). The count is maintained even when
+	// the per-block packet buffering is elided (virtual-only servers), so
+	// accounting is identical either way.
+	addMsgs(nBC*nPlayers, s.sizes.blockChange, false)
 
 	// Entity updates: delta-encoded movements, spawns, removals, fanned out
 	// through per-player interest sets derived from the chunk grid — a

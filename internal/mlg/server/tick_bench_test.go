@@ -15,6 +15,7 @@ package server_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -168,6 +169,12 @@ func BenchmarkTickParallel(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
 					s := setupScaledWorkload(b, sc.kind, sc.scale, workers, 1, sc.warm)
+					// Collect setup garbage so the measured window starts
+					// from a reproducible heap: without this, GC debt
+					// inherited from whichever benchmark ran before skews
+					// single-sample (-benchtime=1x) runs by tens of percent,
+					// which the CI perf gate would misread as a regression.
+					runtime.GC()
 					b.StartTimer()
 					for t := 0; t < measuredTicks; t++ {
 						rec := s.Tick()
@@ -207,6 +214,7 @@ func BenchmarkTick(b *testing.B) {
 				b.StopTimer()
 				s := sc.setup(b)
 				entities, players = s.EntityWorld().Count(), s.PlayerCount()
+				runtime.GC() // reproducible heap (see BenchmarkTickParallel)
 				b.StartTimer()
 				for t := 0; t < measuredTicks; t++ {
 					s.Tick()

@@ -32,9 +32,6 @@ package sim
 // wall-clock time.
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/mlg/world"
 )
 
@@ -255,42 +252,25 @@ func (e *Engine) tryParallelDrains(budget int) bool {
 	// workers never touch the lock (their caches resolve from the frozen
 	// chunk index) and never touch each other's chunks.
 	index := e.w.BeginExclusive()
-	workers := e.workers
-	if workers > len(regions) {
-		workers = len(regions)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				idx := int(next.Add(1)) - 1
-				if idx >= len(regions) {
-					return
-				}
-				r := regions[idx]
-				r.cache = world.NewFixedChunkCache(index)
-				x := &exec{
-					e:        e,
-					wc:       &r.cache,
-					counters: &r.counters,
-					pending:  &r.pendingQ,
-					redstone: &r.redstoneQ,
-					region:   r,
-				}
-				if e.cfg.RedstoneBatch {
-					// Fresh per-region dedup map: within a tick a wire
-					// belongs to exactly one region, and entries never
-					// carry across ticks (the lookup compares the tick).
-					x.wireSeen = make(map[world.Pos]int64)
-				}
-				r.run(x, evenTick)
-			}
-		}()
-	}
-	wg.Wait()
+	world.Parallel(e.workers, len(regions), func(idx int) {
+		r := regions[idx]
+		r.cache = world.NewFixedChunkCache(index)
+		x := &exec{
+			e:        e,
+			wc:       &r.cache,
+			counters: &r.counters,
+			pending:  &r.pendingQ,
+			redstone: &r.redstoneQ,
+			region:   r,
+		}
+		if e.cfg.RedstoneBatch {
+			// Fresh per-region dedup map: within a tick a wire belongs to
+			// exactly one region, and entries never carry across ticks (the
+			// lookup compares the tick).
+			x.wireSeen = make(map[world.Pos]int64)
+		}
+		r.run(x, evenTick)
+	})
 
 	abort := false
 	for _, r := range regions {

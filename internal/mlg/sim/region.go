@@ -60,38 +60,16 @@ func (e *Engine) partitionRegions(minRegions int) (regions []*regionRun, vpInit,
 		dirty[world.ChunkPosAt(u.pos)] = unassigned
 	}
 
-	// Connected components over the dirty set. Map iteration order is
-	// random, but components are canonical, and the final region order is
-	// fixed by the key sort below.
+	// Connected components over the dirty set (the shared flood fill).
+	// Component ids follow map iteration order, but components are
+	// canonical, and the final region order is fixed by the key sort below.
 	var comps [][]world.ChunkPos
-	var stack []world.ChunkPos
-	for cp, id := range dirty {
-		if id != unassigned {
-			continue
+	world.LabelComponents(dirty, regionLinkChunks, func(comp int32, cp world.ChunkPos) {
+		if int(comp) == len(comps) {
+			comps = append(comps, nil)
 		}
-		compID := int32(len(comps))
-		dirty[cp] = compID
-		stack = append(stack[:0], cp)
-		var comp []world.ChunkPos
-		for len(stack) > 0 {
-			c := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			comp = append(comp, c)
-			for dz := -regionLinkChunks; dz <= regionLinkChunks; dz++ {
-				for dx := -regionLinkChunks; dx <= regionLinkChunks; dx++ {
-					if dx == 0 && dz == 0 {
-						continue
-					}
-					n := world.ChunkPos{X: c.X + int32(dx), Z: c.Z + int32(dz)}
-					if nid, ok := dirty[n]; ok && nid == unassigned {
-						dirty[n] = compID
-						stack = append(stack, n)
-					}
-				}
-			}
-		}
-		comps = append(comps, comp)
-	}
+		comps[comp] = append(comps[comp], cp)
+	})
 	nComps = len(comps)
 	if nComps < minRegions {
 		return nil, nil, nil, nComps

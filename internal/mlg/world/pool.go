@@ -1,0 +1,46 @@
+package world
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel runs fn(i) for every i in [0, n) across at most workers
+// goroutines, returning when all calls complete. It is the shared drain pool
+// of the region-parallel schedulers: the terrain engine and the entity store
+// both hand their per-tick region sets to it, so the two phases share one
+// worker discipline (atomic work-stealing over a fixed index range) and one
+// configuration knob (SimWorkers).
+//
+// workers <= 1 or n <= 1 degrades to a plain serial loop on the calling
+// goroutine — no goroutines, no synchronization — which keeps the legacy
+// serial paths bit-and-cost-identical to their pre-pool form.
+//
+// fn must be safe to call concurrently for distinct i; calls are not ordered.
+func Parallel(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

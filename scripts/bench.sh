@@ -1,28 +1,41 @@
 #!/usr/bin/env bash
 # bench.sh — run the tick + network benchmarks and record the perf
-# trajectory into a JSON file (default BENCH_4.json): one entry per
-# benchmark with name, ns/op and allocs/op. The set includes the
-# BenchmarkTickParallel SimWorkers sweep (workers 1/2/4 over the scale>=2
-# construct workloads), so the serial-vs-parallel tick trajectory is
-# recorded next to the per-workload serial baselines; the sweep only shows
-# core-scaling on hosts with >= 2 CPUs.
+# trajectory into a JSON file (default BENCH_5.json): one entry per
+# benchmark with name, ns/op and allocs/op. The set includes both
+# region-parallel sweeps — BenchmarkTickParallel (whole server ticks,
+# SimWorkers 1/2/4 over the scale>=2 construct workloads) and
+# BenchmarkEntityTickParallel (store-level entity ticks, Workers 1/2/4 over
+# multi-cluster populations) — so the serial-vs-parallel trajectories of
+# both world-exclusive phases are recorded next to the per-workload serial
+# baselines. Core-scaling only shows on hosts with >= 2 CPUs.
+#
+# BENCH_5.json is the committed baseline the CI perf gate diffs fresh runs
+# against: scripts/bench_compare.sh fails the build on >25% calibrated
+# ns/op or any allocs/op regression in the pinned benchmark set (see its
+# header for the exact rules). Re-record it in the same change as any
+# intentional perf shift — and ALWAYS with BENCHTIME=1x, the mode CI
+# measures in: multi-iteration runs amortize setup allocations (e.g.
+# BenchmarkSendReal reports ~99 allocs/op at 20x vs ~640 at 1x), so a
+# 1s-recorded baseline makes the 1x alloc gate fail spuriously.
+#
+#   BENCHTIME=1x scripts/bench.sh BENCH_5.json   # re-record the gate baseline
 #
 # Usage:
-#   scripts/bench.sh [out.json]
+#   scripts/bench.sh [out.json]       # local profiling (1s per benchmark)
 #   BENCHTIME=1x scripts/bench.sh     # CI smoke: one iteration each
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkTick$|BenchmarkTickParallel$|BenchmarkSendReal$|BenchmarkSerializeChunk$' \
+  -bench 'BenchmarkTick$|BenchmarkTickParallel$|BenchmarkEntityTickParallel$|BenchmarkSendReal$|BenchmarkSerializeChunk$' \
   -benchmem -benchtime "$benchtime" \
-  ./internal/mlg/server | tee "$raw"
+  ./internal/mlg/server ./internal/mlg/entity | tee "$raw"
 
 awk -v ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
   /^Benchmark/ {

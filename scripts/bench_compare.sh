@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench_compare.sh — the CI perf-regression gate over the recorded benchmark
+# trajectory.
+#
+#   scripts/bench_compare.sh fresh.json [baseline.json ...]
+#
+# Baselines default to BENCH_4.json BENCH_5.json; when several baselines pin
+# the same benchmark, the later file wins (BENCH_5 supersedes BENCH_4). The
+# pinned set is exactly the merged baseline's benchmark names:
+#
+#   - a pinned benchmark missing from the fresh trajectory fails the gate
+#     (the set may only shrink by editing the committed baseline in the same
+#     change);
+#   - allocs/op is machine-independent, so it gates near-absolutely: fresh
+#     above base*1.10 + 32 fails (the headroom covers scheduler-dependent
+#     allocation jitter in the workers>=2 sweeps);
+#   - ns/op depends on the host, so the gate is relative: per-benchmark
+#     fresh/base ratios are calibrated by their median — a uniformly slower
+#     CI runner shifts every ratio equally and passes — and any benchmark
+#     more than 25% above the calibrated expectation fails. Two classes are
+#     exempt from the time gate (alloc-gated only): benchmarks under
+#     50 ms/op, where a single -benchtime=1x sample swings with scheduler
+#     noise alone, and the workers>=2 sweep entries, whose speed shifts
+#     NON-uniformly with the runner's core count relative to a baseline
+#     recorded on a different host (a 4-vCPU runner speeds them up 2-4x
+#     against a 1-CPU baseline, which would drag the calibration median off
+#     the uniform serial shift). The time-gated set is therefore the long
+#     serial 60-tick window benches — the per-workload hot-path cost this
+#     gate exists to protect.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fresh="${1:?usage: scripts/bench_compare.sh fresh.json [baseline.json ...]}"
+shift || true
+baselines=("$@")
+if [ "${#baselines[@]}" -eq 0 ]; then
+  baselines=(BENCH_4.json BENCH_5.json)
+fi
+
+out=$(jq -s -r '
+  (.[0] | map({key: .name, value: .}) | from_entries) as $fresh
+  | (.[1:] | add | group_by(.name) | map(.[-1])) as $base
+  | ($base | map(. + {f: $fresh[.name]})) as $rows
+  | ($rows | map(select(.f == null)
+      | "FAIL missing: pinned benchmark \(.name) absent from fresh trajectory")) as $missing
+  | ($rows | map(select(.f != null and .allocs_per_op != null and .f.allocs_per_op != null)
+      | select(.f.allocs_per_op > .allocs_per_op * 1.10 + 32)
+      | "FAIL allocs: \(.name) \(.allocs_per_op) -> \(.f.allocs_per_op) allocs/op")) as $alloc_fails
+  | ($rows | map(select(.f != null and .ns_per_op != null and .f.ns_per_op != null
+                        and .ns_per_op >= 50000000
+                        and (.name | test("workers[2-9]") | not))
+      | {name, r: (.f.ns_per_op / .ns_per_op)})) as $timed
+  | (if ($timed | length) == 0 then 1
+     else ($timed | map(.r) | sort | .[(length / 2 | floor)]) end) as $cal
+  | ($timed | map(select(.r > $cal * 1.25)
+      | "FAIL ns/op: \(.name) ratio \((.r * 100 | round) / 100) vs calibrated median \((($cal) * 100 | round) / 100) (> +25%)")) as $time_fails
+  | ($missing + $alloc_fails + $time_fails) as $fails
+  | (["perf gate: \($rows | length) pinned benchmarks, \($timed | length) time-gated, median speed ratio \((($cal) * 1000 | round) / 1000)"]
+     + $fails
+     + [if ($fails | length) == 0 then "perf gate: PASS"
+        else "perf gate: \($fails | length) regression(s)" end])
+  | .[]
+' "$fresh" "${baselines[@]}")
+
+echo "$out"
+if grep -q '^FAIL' <<<"$out"; then
+  exit 1
+fi
