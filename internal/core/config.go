@@ -68,8 +68,10 @@ type Config struct {
 	// SimWorkers is the per-tick simulation parallelism of the servers under
 	// test — both world-exclusive phases, the terrain drain and the entity
 	// tick, share the knob and the worker pool: 0 = GOMAXPROCS, 1 = legacy
-	// serial paths. Output is bit-identical either way (see internal/mlg/sim
-	// and internal/mlg/entity).
+	// serial paths. Output is worker-count independent: mob decisions draw
+	// from per-region streams that are pure functions of simulation state,
+	// so every value produces identical results (see internal/mlg/sim and
+	// internal/mlg/entity).
 	SimWorkers int
 }
 

@@ -14,15 +14,22 @@ package core
 // Combined with TestParallelMatchesSerial, a stable checksum means serial
 // and parallel runs are byte-identical at any worker count.
 //
-// If this test fails after an intentional simulation change, run
+// The table lives in testdata/golden_checksums.txt. If this test fails
+// after an intentional simulation change, regenerate it with either of
 //
-//	go test ./internal/core -run TestGoldenChecksums -v
+//	go test ./internal/core -run TestGoldenChecksums -update-golden
+//	UPDATE_GOLDEN=1 go test ./internal/core -run TestGoldenChecksums
 //
-// and copy the printed checksums into goldenChecksums below.
+// and commit the rewritten file together with the behaviour change.
 
 import (
+	"flag"
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -30,6 +37,70 @@ import (
 	"repro/internal/mlg/server"
 	"repro/internal/workload"
 )
+
+// updateGolden rewrites testdata/golden_checksums.txt from the current run
+// instead of comparing against it. UPDATE_GOLDEN=1 in the environment works
+// too (handy when the flag can't be threaded through a test wrapper).
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_checksums.txt with the checksums of the current code")
+
+func goldenUpdateRequested() bool {
+	return *updateGolden || os.Getenv("UPDATE_GOLDEN") == "1"
+}
+
+const goldenChecksumFile = "testdata/golden_checksums.txt"
+
+// loadGoldenChecksums parses the committed golden table: one
+// "<workload> <checksum>" pair per line, '#' comments allowed.
+func loadGoldenChecksums(t *testing.T) map[workload.Kind]uint64 {
+	t.Helper()
+	data, err := os.ReadFile(goldenChecksumFile)
+	if err != nil {
+		t.Fatalf("reading golden table (regenerate with -update-golden): %v", err)
+	}
+	byName := make(map[string]workload.Kind)
+	for _, k := range workload.All() {
+		byName[k.String()] = k
+	}
+	table := make(map[workload.Kind]uint64, len(byName))
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("%s:%d: want \"<workload> <checksum>\", got %q", goldenChecksumFile, ln+1, line)
+		}
+		k, ok := byName[fields[0]]
+		if !ok {
+			t.Fatalf("%s:%d: unknown workload %q", goldenChecksumFile, ln+1, fields[0])
+		}
+		sum, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+		if err != nil {
+			t.Fatalf("%s:%d: bad checksum %q: %v", goldenChecksumFile, ln+1, fields[1], err)
+		}
+		table[k] = sum
+	}
+	return table
+}
+
+// writeGoldenChecksums rewrites the golden table in workload order.
+func writeGoldenChecksums(t *testing.T, table map[workload.Kind]uint64) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("# Golden FNV-1a checksums per workload (see golden_test.go).\n")
+	b.WriteString("# Regenerate: go test ./internal/core -run TestGoldenChecksums -update-golden\n")
+	for _, k := range workload.All() {
+		fmt.Fprintf(&b, "%s %#016x\n", k, table[k])
+	}
+	if err := os.MkdirAll(filepath.Dir(goldenChecksumFile), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenChecksumFile, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // hashRunResult returns the FNV-1a checksum of the full run result.
 func hashRunResult(r RunResult) uint64 {
@@ -51,24 +122,25 @@ func goldenSpec(k workload.Kind) RunSpec {
 	}
 }
 
-// goldenChecksums pins the simulation output per workload. Update only for
-// intentional behaviour changes, in the same commit that changes behaviour.
-var goldenChecksums = map[workload.Kind]uint64{
-	workload.Control: 0x52a0da17930a6fcb,
-	workload.Farm:    0x8fb90bbd9dd2211b,
-	workload.TNT:     0xc5d8a8a79b85f80c,
-	workload.Lag:     0x633f5fda084a148b,
-	workload.Players: 0x88f204c0e04584c3,
-}
-
 func TestGoldenChecksums(t *testing.T) {
+	if goldenUpdateRequested() {
+		table := make(map[workload.Kind]uint64)
+		for _, k := range workload.All() {
+			table[k] = hashRunResult(Run(goldenSpec(k)))
+			t.Logf("%v %#016x", k, table[k])
+		}
+		writeGoldenChecksums(t, table)
+		t.Logf("rewrote %s", goldenChecksumFile)
+		return
+	}
+	golden := loadGoldenChecksums(t)
 	for _, k := range workload.All() {
 		k := k
 		t.Run(k.String(), func(t *testing.T) {
 			got := hashRunResult(Run(goldenSpec(k)))
-			if want := goldenChecksums[k]; got != want {
+			if want := golden[k]; got != want {
 				t.Errorf("%v checksum = %#016x, want %#016x\n"+
-					"simulation output changed; if intentional, update goldenChecksums",
+					"simulation output changed; if intentional, regenerate with -update-golden",
 					k, got, want)
 			}
 		})

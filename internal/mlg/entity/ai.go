@@ -12,13 +12,16 @@ import (
 // whenever a chunk they cross changes — the compute-intensive dynamic
 // pathfinding of §2.2.3.
 //
-// The tick-time half (path following, staleness checks, physics) runs on a
-// tick context shared by the serial loop and the region-parallel workers.
-// The decision half (choosePath, and the wander-cooldown roll on path
-// completion) consumes the store's RNG stream, whose draw order is part of
-// the bit-equality contract — region workers never reach it: mobs whose tick
-// could draw are routed to the serial replay pass (see parallel.go), and the
-// context guards below turn any predicate miss into a rolled-back tick.
+// The whole mob tick — staleness checks, decisions, path following, physics
+// — runs on a tick context shared by the serial loop and the region-parallel
+// workers. Decision randomness (choosePath's wander goal, the cooldown rolls
+// on path failure and completion) comes from per-region decision streams
+// (see rng.go): each draw is a pure function of (world seed, chunk, entity,
+// tick), so region workers draw in place and the serial loop produces the
+// identical values — mob decisions no longer couple entities through a
+// shared RNG stream. The one thing a region worker cannot do is GENERATE
+// terrain (choosePath's surfaceAt over an unloaded column): that escapes the
+// entity to the serial re-tick pass (see parallel.go).
 
 // tickItem integrates item physics only.
 func (c *tickCtx) tickItem(e *Entity) {
@@ -33,26 +36,22 @@ func (c *tickCtx) tickMob(e *Entity) {
 		c.counters.Repaths++
 	}
 
+	d := c.ew.decisionStreamFor(e)
 	if !e.HasPath() {
 		if e.wanderCooldown > 0 {
 			e.wanderCooldown--
-		} else if r := c.region; r != nil {
-			// The deferral predicate (mobMayDrawRNG) should have routed this
-			// mob to the serial replay pass; choosing a path here would draw
-			// from the shared RNG stream out of order. Abort the parallel
-			// attempt — the rollback re-runs the tick serially.
-			r.escaped = true
-			return
 		} else {
-			c.ew.choosePath(e)
+			c.choosePath(e, &d)
+			if r := c.region; r != nil && r.escaped {
+				// The goal column is unloaded: generation is serial-only.
+				// The entity is rolled back and re-ticked on the root context.
+				return
+			}
 		}
 	}
 
 	if e.HasPath() {
-		c.followPath(e)
-		if c.region != nil && c.region.escaped {
-			return
-		}
+		c.followPath(e, &d)
 	}
 	c.stepPhysics(e)
 }
@@ -70,46 +69,56 @@ func (c *tickCtx) pathStale(e *Entity) bool {
 	return false
 }
 
-// mobMayDrawRNG reports whether ticking the mob now could draw from the
-// store's RNG stream. It mirrors tickMob's control flow on pre-tick state
-// without mutating anything: no current path (after staleness) with an
-// expired cooldown reaches choosePath, and a mob on its final waypoint may
-// complete the path and roll a wander cooldown. Conservative (a deferred mob
-// that ends up not drawing costs only parallelism), and the context guards
-// in tickMob/followPath catch any miss by aborting the attempt.
-func (ew *World) mobMayDrawRNG(e *Entity) bool {
-	hasPath := e.HasPath() && !ew.root.pathStale(e)
-	if !hasPath {
-		return e.wanderCooldown == 0
+// mayChoosePath mirrors tickMob's control flow on pre-tick state, without
+// mutating anything: it reports whether the mob's tick will reach choosePath
+// — the only operation in the entity phase that can generate terrain. The
+// scheduler uses it to compute the tick's generation horizon (the smallest
+// such mob's ID; see parallel.go): a region read that misses an unloaded
+// chunk is serial-equivalent only for entities ordered at or before that
+// horizon. The predicate is exact, not merely conservative — every input
+// (the age throttle via the pre-stamped activation marks, path staleness via
+// the frozen chunk versions, the cooldown) is fixed before workers start.
+func (ew *World) mayChoosePath(e *Entity) bool {
+	if e.Kind != Mob || ew.throttledAt(e, e.Age+1) {
+		return false
 	}
-	return e.pathIdx >= len(e.path)-1
+	if e.HasPath() && !ew.root.pathStale(e) {
+		return false
+	}
+	return e.wanderCooldown == 0
 }
 
 // choosePath picks a goal (a player within 16 blocks, else a random point
 // within 8) and runs A* toward it. Target finding queries the tick's player
 // grid: only buckets around the mob are visited, and the lowest-index match
-// is chosen — the same player a first-match linear scan would pick.
-// Root-context only: it consumes the store RNG and may generate terrain
-// through surfaceAt.
-func (ew *World) choosePath(e *Entity) {
+// is chosen — the same player a first-match linear scan would pick. Runs on
+// any context: random draws come from the mob's decision stream and terrain
+// reads resolve through the context's cache. On a region context a goal over
+// an unloaded column escapes (generation must happen serially) and leaves
+// early; the serial re-tick then generates it.
+func (c *tickCtx) choosePath(e *Entity, d *decisionStream) {
 	start := e.Pos.BlockPos()
 	var goal world.Pos
-	target, found := ew.grid.firstWithin(e.Pos, 16)
+	target, found := c.ew.grid.firstWithin(e.Pos, 16)
 	if found {
 		goal = target.BlockPos()
 	} else {
 		goal = world.Pos{
-			X: start.X + ew.rng.Intn(17) - 8,
+			X: start.X + d.Intn(17) - 8,
 			Y: start.Y,
-			Z: start.Z + ew.rng.Intn(17) - 8,
+			Z: start.Z + d.Intn(17) - 8,
 		}
-		goal.Y = ew.surfaceAt(goal)
+		y, ok := c.surfaceAt(goal)
+		if !ok {
+			return
+		}
+		goal.Y = y
 	}
 
-	path, nodes := ew.FindPath(start, goal, ew.cfg.PathNodeBudget)
-	ew.counters.PathNodes += nodes
+	path, nodes := c.findPath(start, goal, c.ew.cfg.PathNodeBudget)
+	c.counters.PathNodes += nodes
 	if path == nil {
-		e.wanderCooldown = 20 + ew.rng.Intn(20)
+		e.wanderCooldown = 20 + d.Intn(20)
 		return
 	}
 	e.path = path
@@ -118,12 +127,13 @@ func (ew *World) choosePath(e *Entity) {
 	e.pathVersions = make(map[world.ChunkPos]uint64, 4)
 	for _, p := range path {
 		cp := world.ChunkPosAt(p)
-		e.pathVersions[cp] = ew.chunkVersion[cp]
+		e.pathVersions[cp] = c.ew.chunkVersion[cp]
 	}
 }
 
-// followPath steers the mob toward its next waypoint.
-func (c *tickCtx) followPath(e *Entity) {
+// followPath steers the mob toward its next waypoint; completing the path
+// rolls the next wander cooldown from the mob's decision stream.
+func (c *tickCtx) followPath(e *Entity, d *decisionStream) {
 	wp := e.path[e.pathIdx]
 	target := Center(wp)
 	delta := target.Sub(e.Pos)
@@ -132,13 +142,7 @@ func (c *tickCtx) followPath(e *Entity) {
 		e.pathIdx++
 		if e.pathIdx >= len(e.path) {
 			e.path = nil
-			if r := c.region; r != nil {
-				// Predicate miss (see tickMob): the completion roll must come
-				// from the serial stream. Roll the tick back.
-				r.escaped = true
-				return
-			}
-			e.wanderCooldown = 20 + c.ew.rng.Intn(40)
+			e.wanderCooldown = 20 + d.Intn(40)
 		}
 		return
 	}
@@ -153,14 +157,29 @@ func (c *tickCtx) followPath(e *Entity) {
 	}
 }
 
-// surfaceAt returns one above the highest solid Y of the column (clamped),
-// a dynamic spawn/goal height query.
-func (ew *World) surfaceAt(p world.Pos) int {
-	y := ew.w.HighestSolidY(p.X, p.Z)
-	if y < 0 {
-		return p.Y
+// surfaceAt returns one above the highest solid Y of the column (the query
+// height for empty columns) — a dynamic spawn/goal height query. The root
+// context generates the column on demand (§2.2.2 lazy generation); a region
+// context cannot (generation mutates the chunk index the workers share
+// frozen), so an unloaded column escapes the current entity to the serial
+// re-tick pass and returns ok=false.
+func (c *tickCtx) surfaceAt(p world.Pos) (int, bool) {
+	if r := c.region; r != nil {
+		ch := c.wc.Chunk(world.ChunkPosAt(p))
+		if ch == nil {
+			r.escaped = true
+			return 0, false
+		}
+		lx, lz := world.ChunkLocal(p)
+		if y := ch.HighestSolidY(lx, lz); y >= 0 {
+			return y + 1, true
+		}
+		return p.Y, true
 	}
-	return y + 1
+	if y := c.ew.w.HighestSolidY(p.X, p.Z); y >= 0 {
+		return y + 1, true
+	}
+	return p.Y, true
 }
 
 // pathNode is an A* open-set element.
@@ -184,11 +203,18 @@ func (h *nodeHeap) Pop() interface{} {
 	return n
 }
 
-// FindPath runs A* from start to goal over walkable voxels, expanding at
+// FindPath runs A* on the store's root context (the serial read path). Tests
+// and external callers use it; tick-time pathing goes through tickCtx.findPath
+// so region workers resolve terrain from their frozen caches.
+func (ew *World) FindPath(start, goal world.Pos, nodeBudget int) ([]world.Pos, int) {
+	return ew.root.findPath(start, goal, nodeBudget)
+}
+
+// findPath runs A* from start to goal over walkable voxels, expanding at
 // most nodeBudget nodes. It returns the path (excluding start) and the
 // number of nodes expanded, or (nil, expanded) if no path was found within
 // budget. Walkable means: solid below, two non-solid blocks of clearance.
-func (ew *World) FindPath(start, goal world.Pos, nodeBudget int) ([]world.Pos, int) {
+func (c *tickCtx) findPath(start, goal world.Pos, nodeBudget int) ([]world.Pos, int) {
 	if nodeBudget <= 0 {
 		nodeBudget = 250
 	}
@@ -216,7 +242,7 @@ func (ew *World) FindPath(start, goal world.Pos, nodeBudget int) ([]world.Pos, i
 		if h < bestH {
 			bestH, best = h, cur
 		}
-		for _, next := range ew.walkableNeighbors(cur.pos) {
+		for _, next := range c.walkableNeighbors(cur.pos) {
 			g := cur.g + 1
 			if prev, ok := visited[next]; ok && prev <= g {
 				continue
@@ -246,8 +272,10 @@ func reconstruct(n *pathNode) []world.Pos {
 
 // walkableNeighbors returns the standable positions reachable in one step:
 // flat moves, single-block step-ups, and drops of up to three blocks.
-// Root-context only (A* and natural spawning run serially).
-func (ew *World) walkableNeighbors(p world.Pos) []world.Pos {
+// Terrain reads go through the context, so A* expansions on a region worker
+// resolve from the frozen chunk index (and unloaded misses trip the
+// generation-horizon guard in blockIfLoaded).
+func (c *tickCtx) walkableNeighbors(p world.Pos) []world.Pos {
 	out := make([]world.Pos, 0, 4)
 	for _, hn := range p.NeighborsHorizontal() {
 		for dy := 1; dy >= -3; dy-- {
@@ -255,12 +283,12 @@ func (ew *World) walkableNeighbors(p world.Pos) []world.Pos {
 			if q.Y < 1 || q.Y >= world.Height-1 {
 				continue
 			}
-			if ew.standable(q) {
+			if c.standable(q) {
 				out = append(out, q)
 				break
 			}
 			// Cannot pass through a solid at this level going down.
-			if b, ok := ew.wc.BlockIfLoaded(q); ok && b.IsSolid() {
+			if b, ok := c.blockIfLoaded(q); ok && b.IsSolid() {
 				break
 			}
 		}
@@ -270,19 +298,21 @@ func (ew *World) walkableNeighbors(p world.Pos) []world.Pos {
 
 // standable reports whether a mob can occupy p: solid floor below, feet and
 // head clear.
-func (ew *World) standable(p world.Pos) bool {
-	below, ok := ew.wc.BlockIfLoaded(p.Down())
+func (c *tickCtx) standable(p world.Pos) bool {
+	below, ok := c.blockIfLoaded(p.Down())
 	if !ok || !below.IsSolid() {
 		return false
 	}
-	feet, _ := ew.wc.BlockIfLoaded(p)
-	head, _ := ew.wc.BlockIfLoaded(p.Up())
+	feet, _ := c.blockIfLoaded(p)
+	head, _ := c.blockIfLoaded(p.Up())
 	return !feet.IsSolid() && !head.IsSolid()
 }
 
 // naturalSpawns attempts ambient mob spawns near players, computing spawn
 // points dynamically (§2.2.3: terrain modification may obstruct spawn
-// points, so MLGs compute them on the fly).
+// points, so MLGs compute them on the fly). Runs in the serial phase after
+// the per-entity loop, on the store RNG: placement draws stay on the shared
+// stream, whose consumption order here is global and deterministic.
 func (ew *World) naturalSpawns(players []Vec3) {
 	for i := 0; i < ew.cfg.SpawnAttemptsPerTick; i++ {
 		ew.counters.SpawnAttempts++
@@ -294,11 +324,11 @@ func (ew *World) naturalSpawns(players []Vec3) {
 		dz := float64(ew.rng.Intn(49) - 24)
 		candidate := anchor.Add(Vec3{X: dx, Z: dz})
 		bp := candidate.BlockPos()
-		bp.Y = ew.surfaceAt(bp)
+		bp.Y, _ = ew.root.surfaceAt(bp)
 		if bp.Y <= 1 || bp.Y >= world.Height-2 {
 			continue
 		}
-		if !ew.standable(bp) {
+		if !ew.root.standable(bp) {
 			continue
 		}
 		// Too close to a player: skip (Minecraft enforces 24 blocks). The

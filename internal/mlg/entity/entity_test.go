@@ -282,10 +282,16 @@ func TestTerrainChangeForcesRepath(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		repathsBefore += ew.Tick(nil).Repaths
 	}
-	// Mutate terrain around the mob every tick; repaths must occur.
+	// Mutate terrain around the mob every tick; repaths must occur. The
+	// block alternates so every write is a genuine change (SetBlock skips
+	// listeners — and so the chunk-version bump — on no-op writes).
 	repaths := 0
 	for i := 0; i < 200; i++ {
-		w.SetBlock(world.Pos{X: 5, Y: 20, Z: i % 7}, world.B(world.Stone))
+		b := world.B(world.Stone)
+		if i%2 == 1 {
+			b = world.B(world.Air)
+		}
+		w.SetBlock(world.Pos{X: 5, Y: 20, Z: i % 7}, b)
 		repaths += ew.Tick(nil).Repaths
 	}
 	if repaths == 0 {

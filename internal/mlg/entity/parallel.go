@@ -1,42 +1,59 @@
 package entity
 
 // Region-parallel entity ticks, mirroring the terrain engine's
-// partition-and-replay architecture (internal/mlg/sim/region.go,
-// parallel.go) on the entity phase.
+// partition-and-merge architecture (internal/mlg/sim/region.go, parallel.go)
+// on the entity phase.
 //
 // The serial loop visits every live entity in list (ID) order. Within one
 // tick, entity ticks never read each other's state: AI targets come from the
 // frozen player snapshot, physics and path checks read terrain — which the
-// entity phase never mutates — and spawning, item merging and blast
-// impulses all happen in the serial phases around the loop. The loop's only
-// cross-entity dependency is the store's RNG stream, which mob decisions
-// (choosePath, the wander-cooldown roll on path completion) consume in
-// entity order. A bit-identical parallel schedule therefore needs:
+// entity phase never mutates, only extends (choosePath's surfaceAt may
+// GENERATE an unloaded column) — and spawning, item merging and blast
+// impulses all happen in the serial phases around the loop. Decision
+// randomness comes from per-region streams (rng.go): each draw is a pure
+// function of simulation state, so draws are identical under any schedule.
+// The deterministic contract is therefore worker-count independence — every
+// Workers value, including 1 (the serial loop), produces the same world —
+// built from three pieces:
 //
 //  1. Region independence: entities are partitioned by the chunk-bucketed
 //     spatial index into connected components of occupied chunk columns
 //     (Chebyshev distance <= entRegionLinkChunks), each owning its core
 //     chunks plus a one-chunk halo. Workers write only their own entities;
 //     buffered side effects (index rebuckets, per-chunk update counts,
-//     detonations) keep the shared maps untouched until the merge. An
-//     entity that moves outside its region's owned set escapes — the whole
-//     attempt rolls back from per-entity undo snapshots and the tick
-//     re-runs serially, exactly as terrain escapes do.
+//     detonations) keep the shared maps untouched until the merge.
 //
-//  2. Decision replay: mobs whose tick could draw RNG (the mobMayDrawRNG
-//     predicate, evaluated on pre-tick state) are not ticked by the workers
-//     at all; the merge replays them serially in global ID order on the
-//     root context, so every RNG draw happens in exactly the serial
-//     stream position. The predicate is conservative; the context guards in
-//     tickMob/followPath turn any miss into an escape.
+//  2. The generation horizon: the only cross-entity coupling left is lazy
+//     terrain generation — serially, a mob reaching choosePath can generate
+//     a chunk that a later entity's read then sees loaded. The scheduler
+//     computes the smallest ID among mobs that will reach choosePath this
+//     tick (mayChoosePath, exact on pre-tick state). Region reads that hit
+//     loaded chunks are always serial-equivalent (loaded terrain is frozen
+//     for the phase); a read that misses an unloaded chunk is provably
+//     serial-equivalent only for entities at or before the horizon. Past it,
+//     the entity escapes: it is rolled back from its undo snapshot and
+//     re-ticked serially — in global ID order, on the root context, after
+//     the exclusive phase — where generation is allowed. Escapes are
+//     per-entity, not per-tick: the rest of the region commits.
 //
-// Order-sensitive effects are reconstructed at merge time: detonations are
-// re-emitted in entity-ID order (the serial append order — mobs never
-// detonate, so the deferred pass cannot interleave), counters and per-chunk
-// update counts are order-free sums, and index rebuckets commute because
-// buckets are ID-sorted sets. The workers run inside the world's exclusive
-// phase with frozen chunk-index caches, so concurrent joins and readers
-// block exactly as they would behind a serial entity storm.
+//  3. Order reconstruction at merge time: detonations are buffered with
+//     their entity IDs and flushed in ID order (the serial append order)
+//     after the re-tick pass; counters and per-chunk update counts are
+//     order-free sums; index rebuckets commute because buckets are
+//     ID-sorted sets.
+//
+// Escape is impossible for most regions — no generation-capable mob, no
+// fast entity, every owned chunk loaded — and those regions skip the
+// per-entity undo snapshots entirely (see entRegion.run), which removes the
+// dominant overhead the old bit-identical schedule paid on small regions.
+// Scheduling is size-aware: regions carry a cost estimate (their entity
+// count) and are packed into contiguous cost-balanced work units
+// (world.PackUnits), so a swarm of tiny regions shares a few worker
+// handoffs and the pool's fan-out follows the work available.
+//
+// The workers run inside the world's exclusive phase with frozen chunk-index
+// caches, so concurrent joins and readers block exactly as they would behind
+// a serial entity storm.
 
 import (
 	"sort"
@@ -47,14 +64,31 @@ import (
 // entRegionLinkChunks is the Chebyshev chunk distance at which occupied
 // chunk columns merge into one entity region. Cores of distinct regions are
 // then >= 3 chunks apart, so their owned sets (core ⊕ 1-chunk halo) are
-// >= 1 chunk apart: an entity would have to cross a full unoccupied chunk
-// in one tick (terminal velocity is 3 blocks/tick) to reach another
-// region's territory, which the escape check rules out anyway.
+// >= 1 chunk apart.
 const entRegionLinkChunks = 2
 
 // minParallelEntities is the population below which a parallel attempt is
 // not worth the partition + worker handoff cost.
 const minParallelEntities = 32
+
+// minUnitEntities is the target entity count per packed work unit: regions
+// are merged into contiguous units until each carries at least this much
+// estimated work, so the parallel fan-out tracks the population, not the
+// region count.
+const minUnitEntities = 16
+
+// unitsPerWorker bounds the packed unit count to a few units per worker:
+// enough slack for the pool's work stealing to balance uneven units, few
+// enough that handoffs stay amortized.
+const unitsPerWorker = 4
+
+// fastEscapeVel is the per-axis horizontal velocity (blocks/tick) above
+// which an entity's movement and collision probes are no longer provably
+// confined to its region's owned set (core chunk + 16-block halo). Regions
+// containing a faster entity keep undo snapshots on, since an unloaded-chunk
+// probe can then trip the generation-horizon escape. Slow entities reach at
+// most |v| + 2 blocks from a core chunk, comfortably inside the halo.
+const fastEscapeVel = 8.0
 
 // minParallelImpulses is the detonation-batch size below which blast
 // impulses run serially.
@@ -71,21 +105,20 @@ type tickCtx struct {
 	wc       *world.ChunkCache
 	counters *Counters
 	region   *entRegion // nil for the store's root (serial) context
-	cur      *Entity    // entity currently being ticked (hazard attribution)
+	cur      *Entity    // entity currently being ticked (escape attribution)
 }
 
-// blockIfLoaded is the context's terrain read. On a region context, a read
-// that misses an unloaded chunk escapes when a deferred mob with a smaller
-// ID exists in the region: that mob's serial-order choosePath can GENERATE
-// the missing chunk (surfaceAt → HighestSolidY) before this entity's serial
-// turn, so the frozen-index miss is not provably what the serial schedule
-// observes. Reads by entities ordered before every deferred mob — and all
-// reads when nothing is deferred — see exactly the serial state, since no
-// worker-ticked entity ever generates terrain.
+// blockIfLoaded is the context's terrain read. Reads that hit a loaded chunk
+// are always serial-equivalent: the entity phase never mutates loaded
+// terrain, it only generates NEW chunks (choosePath → surfaceAt). A miss on
+// an unloaded chunk is hazardous only when a mob with a smaller ID can
+// generate this tick — at this entity's serial turn the chunk might exist.
+// Past the generation horizon the current entity escapes to the serial
+// re-tick pass, which runs after every generation-capable predecessor.
 func (c *tickCtx) blockIfLoaded(p world.Pos) (world.Block, bool) {
 	b, ok := c.wc.BlockIfLoaded(p)
 	if !ok {
-		if r := c.region; r != nil && r.minDeferred >= 0 && c.cur != nil && c.cur.ID > r.minDeferred {
+		if r := c.region; r != nil && r.genHorizon >= 0 && c.cur != nil && c.cur.ID > r.genHorizon {
 			r.escaped = true
 		}
 	}
@@ -99,18 +132,10 @@ type entMove struct {
 }
 
 // entExplosion is one buffered TNT detonation, keyed by entity ID so the
-// merge can re-emit the batch in serial (list) order.
+// flush can emit the tick's batch in serial (list) order.
 type entExplosion struct {
 	id  int64
 	pos world.Pos
-}
-
-// entUndo snapshots one entity before its parallel tick. Restoring the
-// struct value is a full rollback: workers never mutate the contents of the
-// referenced path/pathVersions slices or maps, only replace the pointers.
-type entUndo struct {
-	e    *Entity
-	prev Entity
 }
 
 // entRegion is one region's tick execution: its core chunk columns, the
@@ -120,76 +145,112 @@ type entRegion struct {
 	key    world.ChunkPos
 	chunks []world.ChunkPos            // core chunk columns, discovery order
 	owned  map[world.ChunkPos]struct{} // core plus one-chunk halo
+	// cost estimates the region's tick work (its entity count at partition
+	// time) for the unit packer.
+	cost int
 
 	cache      world.ChunkCache
 	counters   Counters
-	ticking    []*Entity // entities the workers tick (classify pass output)
-	deferred   []*Entity // mobs routed to the serial decision replay
+	ticking    []*Entity // entities the worker ticks (classify pass output)
+	retick     []*Entity // escaped entities, re-ticked serially after merge
 	moves      []entMove
 	chunkMoved map[world.ChunkPos]int
 	explosions []entExplosion
-	undo       []entUndo
-	// minDeferred is the smallest deferred-mob ID (-1 when none): the
-	// horizon after which an unloaded-chunk read stops being provably
-	// serial-equivalent (see tickCtx.blockIfLoaded).
-	minDeferred int64
-	// escaped marks an entity leaving the owned set, a decision predicate
-	// miss, or an unloaded read past the deferred horizon: the whole tick's
-	// parallel attempt rolls back and re-runs serially.
+
+	// genHorizon is the tick's generation horizon (smallest ID among mobs
+	// that will reach choosePath; -1 when none), copied from the scheduler.
+	genHorizon int64
+	// undoOn gates the per-entity undo snapshots. It is false — and
+	// snapshots are skipped — when the region provably cannot escape: no
+	// generation-capable mob (no choosePath can need an unloaded column,
+	// and only those mobs' A* reads leave the owned set), no fast entity
+	// (slow probes stay inside the owned halo), and, when a generation
+	// horizon exists, no unloaded owned chunk (so in-halo probes cannot
+	// miss). An escape with undoOn unset would be a scheduler bug; run
+	// panics rather than committing a half-ticked entity.
+	undoOn bool
+	// prev and prevCounters snapshot the current entity and the region
+	// counters before its tick (only while undoOn): restoring the struct
+	// value is a full per-entity rollback, since workers never mutate the
+	// contents of the referenced path/pathVersions slices or maps, only
+	// replace the pointers.
+	prev         Entity
+	prevCounters Counters
+	// escaped marks the CURRENT entity's tick as not completable in-region
+	// (terrain generation needed, or an unloaded read past the generation
+	// horizon). The run loop rolls that entity back, queues it for the
+	// serial re-tick, clears the flag and continues.
 	escaped bool
 }
 
-// run ticks the region's entities in two passes. The classify pass routes
-// RNG-drawing mobs to the serial replay (recording the deferred-ID horizon
-// the terrain-read guard needs); the tick pass then runs everything else.
+// run ticks the region's entities. The classify pass gathers them from the
+// frozen buckets and decides undo gating; the tick pass then runs each
+// entity, rolling back and queueing for serial re-tick any that escape.
 // Within-region tick order is free: entity ticks are independent, and every
 // order-sensitive effect is keyed for the merge.
-func (r *entRegion) run(c *tickCtx) {
+func (r *entRegion) run(c *tickCtx, index map[world.ChunkPos]*world.Chunk) {
+	hasGen, anyFast := false, false
 	for _, cp := range r.chunks {
 		for _, e := range c.ew.index.buckets[cp] {
 			if e.Dead {
 				continue
 			}
-			if e.Kind == Mob && !c.ew.throttledAt(e, e.Age+1) && c.ew.mobMayDrawRNG(e) {
-				r.deferred = append(r.deferred, e)
-				if r.minDeferred < 0 || e.ID < r.minDeferred {
-					r.minDeferred = e.ID
-				}
-				continue
-			}
 			r.ticking = append(r.ticking, e)
+			if !hasGen && c.ew.mayChoosePath(e) {
+				hasGen = true
+			}
+			if v := e.Vel; v.X > fastEscapeVel || v.X < -fastEscapeVel ||
+				v.Z > fastEscapeVel || v.Z < -fastEscapeVel {
+				anyFast = true
+			}
 		}
 	}
-	for _, e := range r.ticking {
-		if r.escaped {
-			return
+	r.undoOn = hasGen
+	if !r.undoOn && r.genHorizon >= 0 {
+		if anyFast {
+			r.undoOn = true
+		} else {
+			for cp := range r.owned {
+				if index[cp] == nil {
+					r.undoOn = true
+					break
+				}
+			}
 		}
-		r.undo = append(r.undo, entUndo{e: e, prev: *e})
+	}
+
+	for _, e := range r.ticking {
+		if r.undoOn {
+			r.prev = *e
+			r.prevCounters = r.counters
+		}
 		c.cur = e
 		c.tickEntity(e)
+		if r.escaped {
+			if !r.undoOn {
+				panic("entity: region escape with undo snapshots gated off")
+			}
+			*e = r.prev
+			r.counters = r.prevCounters
+			r.retick = append(r.retick, e)
+			r.escaped = false
+		}
 	}
 	c.cur = nil
-}
-
-// rollback restores every entity the region ticked to its pre-tick state,
-// in reverse order. Buffered effects are simply discarded by the caller.
-func (r *entRegion) rollback() {
-	for i := len(r.undo) - 1; i >= 0; i-- {
-		*r.undo[i].e = r.undo[i].prev
-	}
 }
 
 func (r *entRegion) reset() {
 	r.chunks = r.chunks[:0]
 	clear(r.owned)
 	clear(r.chunkMoved)
+	r.cost = 0
 	r.ticking = r.ticking[:0]
-	r.deferred = r.deferred[:0]
+	r.retick = r.retick[:0]
 	r.moves = r.moves[:0]
 	r.explosions = r.explosions[:0]
-	r.undo = r.undo[:0]
 	r.counters = Counters{}
-	r.minDeferred = -1
+	r.genHorizon = -1
+	r.undoOn = false
 	r.escaped = false
 	r.cache = world.ChunkCache{}
 }
@@ -205,9 +266,9 @@ func (ew *World) takeEntRegion() *entRegion {
 		return r
 	}
 	return &entRegion{
-		owned:       make(map[world.ChunkPos]struct{}, 64),
-		chunkMoved:  make(map[world.ChunkPos]int, 16),
-		minDeferred: -1,
+		owned:      make(map[world.ChunkPos]struct{}, 64),
+		chunkMoved: make(map[world.ChunkPos]int, 16),
+		genHorizon: -1,
 	}
 }
 
@@ -217,10 +278,11 @@ func (ew *World) releaseEntRegions(regions []*entRegion) {
 
 // partitionEntityRegions groups the occupied chunk columns of the spatial
 // index into entity regions: connected components at Chebyshev distance
-// <= entRegionLinkChunks, each owning its core plus a one-chunk halo.
-// Regions are returned sorted by key (minimal core chunk in (Z, X) order).
-// When fewer than minRegions components exist only the count is returned —
-// the caller drains serially.
+// <= entRegionLinkChunks, each owning its core plus a one-chunk halo and
+// carrying its entity count as the packing cost estimate. Regions are
+// returned sorted by key (minimal core chunk in (Z, X) order). When fewer
+// than minRegions components exist only the count is returned — the caller
+// drains serially.
 func (ew *World) partitionEntityRegions(minRegions int) (regions []*entRegion, nComps int) {
 	if ew.regionScratch == nil {
 		ew.regionScratch = make(map[world.ChunkPos]int32, 64)
@@ -242,6 +304,7 @@ func (ew *World) partitionEntityRegions(minRegions int) (regions []*entRegion, n
 		}
 		r := regions[comp]
 		r.chunks = append(r.chunks, c)
+		r.cost += len(ew.index.buckets[c])
 		if c.Z < r.key.Z || (c.Z == r.key.Z && c.X < r.key.X) {
 			r.key = c
 		}
@@ -268,8 +331,8 @@ func (ew *World) partitionEntityRegions(minRegions int) (regions []*entRegion, n
 
 // tryParallelTick attempts to run this tick's per-entity loop on the
 // region-parallel schedule. It returns true when the loop ran and merged
-// (bit-identically to the serial loop); false leaves every entity untouched
-// so the caller runs the serial path.
+// (identically to the serial loop under the per-region-stream contract);
+// false leaves every entity untouched so the caller runs the serial path.
 func (ew *World) tryParallelTick() bool {
 	ew.lastParallel = false
 	ew.lastRegions = 0
@@ -290,36 +353,58 @@ func (ew *World) tryParallelTick() bool {
 		return false
 	}
 
+	// The tick's generation horizon: the smallest ID among mobs that will
+	// reach choosePath — the only mid-loop terrain generator. The list is
+	// ID-ordered, so the first match is the minimum. Computed once,
+	// serially, on pre-tick state; every region receives the same value.
+	genHorizon := int64(-1)
+	for _, e := range ew.list {
+		if !e.Dead && ew.mayChoosePath(e) {
+			genHorizon = e.ID
+			break
+		}
+	}
+
+	// Size the fan-out by the work available: regions pack into contiguous
+	// cost-balanced units, so a swarm of tiny regions shares a few worker
+	// handoffs instead of paying one each, and a sparse tick spawns only
+	// the goroutines its units need.
+	costs := ew.costScratch[:0]
+	for _, r := range regions {
+		costs = append(costs, r.cost)
+	}
+	ew.costScratch = costs
+	units := world.PackUnits(ew.unitScratch[:0], costs, ew.workers*unitsPerWorker, minUnitEntities)
+	ew.unitScratch = units
+
 	// Exclusive phase: workers resolve terrain reads from the frozen chunk
 	// index (they cannot take the world's read lock while it is held), and
 	// concurrent joins/readers block exactly as behind a serial entity storm.
 	index := ew.w.BeginExclusive()
-	world.Parallel(ew.workers, len(regions), func(i int) {
-		r := regions[i]
-		r.cache = world.NewFixedChunkCache(index)
-		c := &tickCtx{ew: ew, wc: &r.cache, counters: &r.counters, region: r}
-		r.run(c)
+	world.Parallel(ew.workers, len(units), func(u int) {
+		for i := units[u][0]; i < units[u][1]; i++ {
+			r := regions[i]
+			r.genHorizon = genHorizon
+			r.cache = world.NewFixedChunkCache(index)
+			c := &tickCtx{ew: ew, wc: &r.cache, counters: &r.counters, region: r}
+			r.run(c, index)
+		}
 	})
 	ew.w.EndExclusive()
 
-	for _, r := range regions {
-		if r.escaped {
-			// Roll every region back (undo snapshots restore the exact
-			// pre-tick entity states; buffered effects are discarded) and
-			// let the serial loop redo the tick.
-			for j := len(regions) - 1; j >= 0; j-- {
-				regions[j].rollback()
-			}
-			ew.releaseEntRegions(regions)
-			ew.fallbackTicks++
-			ew.serialHold = 8
-			return false
-		}
-	}
-
-	ew.mergeEntRegions(regions)
-	ew.replayDeferred(regions)
+	retick := ew.mergeEntRegions(regions)
 	ew.releaseEntRegions(regions)
+	if len(retick) > 0 {
+		// Escaped entities re-run serially on the root context in global ID
+		// order — the positions their terrain generation occupies in the
+		// serial schedule. Everything else has already committed with
+		// serial-identical results: loaded terrain is stable for the phase
+		// and decision draws are order-free.
+		for _, e := range retick {
+			ew.root.tickEntity(e)
+		}
+		ew.fallbackTicks++
+	}
 	ew.lastParallel = true
 	ew.parallelTicks++
 	return true
@@ -328,10 +413,11 @@ func (ew *World) tryParallelTick() bool {
 // mergeEntRegions folds the regions' buffered effects into the store:
 // counters and per-chunk update counts sum (order-free), index rebuckets
 // apply (buckets are ID-sorted sets, so application order is immaterial),
-// and detonations re-emit in entity-ID order — exactly the serial loop's
-// append order.
-func (ew *World) mergeEntRegions(regions []*entRegion) {
-	ex := ew.exScratch[:0]
+// detonations join the tick's ID-keyed buffer (flushed in serial order at
+// the end of the tick), and escaped entities are collected — sorted by ID —
+// for the serial re-tick pass.
+func (ew *World) mergeEntRegions(regions []*entRegion) []*Entity {
+	retick := ew.retickScratch[:0]
 	for _, r := range regions {
 		ew.counters = ew.counters.Add(r.counters)
 		for cp, n := range r.chunkMoved {
@@ -342,28 +428,26 @@ func (ew *World) mergeEntRegions(regions []*entRegion) {
 		for _, m := range r.moves {
 			ew.index.move(m.e, m.to)
 		}
-		ex = append(ex, r.explosions...)
+		ew.exBuf = append(ew.exBuf, r.explosions...)
+		retick = append(retick, r.retick...)
 	}
-	sort.Slice(ex, func(i, j int) bool { return ex[i].id < ex[j].id })
-	for _, x := range ex {
-		ew.explosionsDue = append(ew.explosionsDue, x.pos)
-	}
-	ew.exScratch = ex
+	sort.Slice(retick, func(i, j int) bool { return retick[i].ID < retick[j].ID })
+	ew.retickScratch = retick
+	return retick
 }
 
-// replayDeferred runs the RNG-drawing mobs serially on the root context in
-// global ID order — the exact positions their draws occupy in the serial
-// stream, since no other entity in the loop draws.
-func (ew *World) replayDeferred(regions []*entRegion) {
-	def := ew.deferScratch[:0]
-	for _, r := range regions {
-		def = append(def, r.deferred...)
+// flushExplosions emits the tick's buffered detonations to explosionsDue in
+// entity-ID order — the serial loop's append order — regardless of which
+// schedule (serial, region worker, re-tick pass) buffered them.
+func (ew *World) flushExplosions() {
+	if len(ew.exBuf) == 0 {
+		return
 	}
-	sort.Slice(def, func(i, j int) bool { return def[i].ID < def[j].ID })
-	for _, e := range def {
-		ew.root.tickEntity(e)
+	sort.Slice(ew.exBuf, func(i, j int) bool { return ew.exBuf[i].id < ew.exBuf[j].id })
+	for _, x := range ew.exBuf {
+		ew.explosionsDue = append(ew.explosionsDue, x.pos)
 	}
-	ew.deferScratch = def
+	ew.exBuf = ew.exBuf[:0]
 }
 
 // ApplyExplosionImpulses applies blast impulses for a whole detonation
@@ -465,8 +549,8 @@ type ParallelStats struct {
 	// region-parallel schedule.
 	LastParallel bool
 	// ParallelTicks counts ticks run in parallel; FallbackTicks counts
-	// ticks where a parallel attempt escaped and was rolled back to the
-	// serial loop.
+	// parallel ticks in which at least one escaped entity had to be rolled
+	// back and re-ticked serially (the tick itself still commits parallel).
 	ParallelTicks int64
 	FallbackTicks int64
 }

@@ -5,7 +5,7 @@ package entity
 // Workers=1 (legacy serial loop) and Workers=4 (region-parallel schedule),
 // and every externally visible product — per-tick counters, per-chunk update
 // drains, detonation drains, and the full wire state snapshot — must match
-// bit for bit. Companion tests cover the escape→rollback→serial-rerun path,
+// bit for bit. Companion tests cover the escape→undo→serial-re-tick path,
 // the region-partition invariants, and the regioned blast-impulse batches.
 
 import (
@@ -68,75 +68,89 @@ func drainUpdatesString(ew *World) string {
 }
 
 func TestEntityTickSerialParallelEquivalence(t *testing.T) {
-	const clusters = 3
-	serial := buildTwinWorld(t, 1, clusters)
-	parallel := buildTwinWorld(t, 4, clusters)
-	players := twinPlayers(clusters)
+	// Worker-count independence: every worker count must reproduce the
+	// Workers=1 serial loop bit for bit, not merely agree with one chosen
+	// parallel schedule.
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const clusters = 3
+			serial := buildTwinWorld(t, 1, clusters)
+			parallel := buildTwinWorld(t, workers, clusters)
+			players := twinPlayers(clusters)
 
-	for tick := 0; tick < 80; tick++ {
-		cs, cp := serial.Tick(players), parallel.Tick(players)
-		if cs != cp {
-			t.Fatalf("tick %d: counters diverged\nserial:   %+v\nparallel: %+v", tick, cs, cp)
-		}
-		if a, b := drainUpdatesString(serial), drainUpdatesString(parallel); a != b {
-			t.Fatalf("tick %d: chunk updates diverged\nserial:   %s\nparallel: %s", tick, a, b)
-		}
-		es, ep := serial.DrainExplosions(), parallel.DrainExplosions()
-		if fmt.Sprint(es) != fmt.Sprint(ep) {
-			t.Fatalf("tick %d: detonation order diverged\nserial:   %v\nparallel: %v", tick, es, ep)
-		}
-		if a, b := serial.AppendStateSnapshot(nil), parallel.AppendStateSnapshot(nil); !bytes.Equal(a, b) {
-			t.Fatalf("tick %d: entity state snapshots diverged (%d vs %d bytes)", tick, len(a), len(b))
-		}
-	}
-	ps := parallel.ParallelStats()
-	if ps.ParallelTicks == 0 {
-		t.Fatalf("parallel store never took the region-parallel path: %+v", ps)
-	}
-	if ss := serial.ParallelStats(); ss.ParallelTicks != 0 {
-		t.Fatalf("Workers=1 store took the parallel path: %+v", ss)
+			for tick := 0; tick < 80; tick++ {
+				cs, cp := serial.Tick(players), parallel.Tick(players)
+				if cs != cp {
+					t.Fatalf("tick %d: counters diverged\nserial:   %+v\nparallel: %+v", tick, cs, cp)
+				}
+				if a, b := drainUpdatesString(serial), drainUpdatesString(parallel); a != b {
+					t.Fatalf("tick %d: chunk updates diverged\nserial:   %s\nparallel: %s", tick, a, b)
+				}
+				es, ep := serial.DrainExplosions(), parallel.DrainExplosions()
+				if fmt.Sprint(es) != fmt.Sprint(ep) {
+					t.Fatalf("tick %d: detonation order diverged\nserial:   %v\nparallel: %v", tick, es, ep)
+				}
+				if a, b := serial.AppendStateSnapshot(nil), parallel.AppendStateSnapshot(nil); !bytes.Equal(a, b) {
+					t.Fatalf("tick %d: entity state snapshots diverged (%d vs %d bytes)", tick, len(a), len(b))
+				}
+			}
+			ps := parallel.ParallelStats()
+			if ps.ParallelTicks == 0 {
+				t.Fatalf("parallel store never took the region-parallel path: %+v", ps)
+			}
+			if ss := serial.ParallelStats(); ss.ParallelTicks != 0 {
+				t.Fatalf("Workers=1 store took the parallel path: %+v", ss)
+			}
+		})
 	}
 }
 
-// TestEntityEscapeRollback forces an entity across a full region gap in one
-// tick (a velocity no simulated force produces), so the parallel attempt
-// must detect the escape, roll back, and re-run serially — still matching
-// the serial twin bit for bit.
-func TestEntityEscapeRollback(t *testing.T) {
-	const clusters = 2
-	serial := buildTwinWorld(t, 1, clusters)
-	parallel := buildTwinWorld(t, 4, clusters)
-	players := twinPlayers(clusters)
-
-	// Warm both twins into a steady state, then launch the same item at
-	// escape velocity in each.
-	for tick := 0; tick < 5; tick++ {
-		if cs, cp := serial.Tick(players), parallel.Tick(players); cs != cp {
-			t.Fatalf("warm tick %d diverged", tick)
+// TestEntityFastEscapeSerialRetick launches an item across several chunks in
+// one tick (a velocity no simulated force produces, and one the scheduler's
+// slow-probe envelope cannot cover). Its probes miss the frozen chunk
+// snapshot while a fresh mob below the generation horizon could be
+// generating terrain, so the worker must undo just that entity and queue it
+// for the serial re-tick pass — the tick still commits as parallel, and the
+// store must keep matching its serial twin bit for bit.
+func TestEntityFastEscapeSerialRetick(t *testing.T) {
+	build := func(workers int) *World {
+		w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.NaturalSpawning = false
+		ew := NewWorld(w, cfg, 99)
+		// One loaded chunk holding a fresh mob (no path, cooldown 0 → it may
+		// generate terrain, lowest ID → the generation horizon is its ID)
+		// and a higher-ID item about to be launched.
+		w.EnsureArea(world.Pos{X: 8, Z: 8}, 0)
+		ew.SpawnMob(world.Pos{X: 8, Y: 11, Z: 8})
+		ew.SpawnItem(world.Pos{X: 8, Y: 30, Z: 8}, world.Gravel)
+		// Far-away filler so the population passes the parallel threshold
+		// and a second region exists.
+		o := world.Pos{X: 520, Y: 12, Z: 8}
+		w.EnsureArea(o, 2)
+		for i := 0; i < 40; i++ {
+			ew.SpawnItem(world.Pos{X: o.X + i%8, Y: 14, Z: o.Z + i/8}, world.Gravel)
 		}
-	}
-	kick := func(ew *World) {
-		var target *Entity
+		// 120 blocks in one tick: the first step probes far outside the
+		// loaded single chunk.
 		ew.Entities(func(e *Entity) {
-			if target == nil && e.Kind == Item && !e.Dead {
-				target = e
+			if e.Kind == Item && e.Pos.X < 100 {
+				e.Vel.X = 120
 			}
 		})
-		if target == nil {
-			t.Fatal("no live item to kick")
-		}
-		target.Vel.X = 120 // 7+ chunks in one tick: far outside the owned halo
+		return ew
 	}
-	kick(serial)
-	kick(parallel)
+	serial, parallel := build(1), build(4)
 
-	for tick := 0; tick < 10; tick++ {
-		cs, cp := serial.Tick(players), parallel.Tick(players)
+	for tick := 0; tick < 8; tick++ {
+		cs, cp := serial.Tick(nil), parallel.Tick(nil)
 		if cs != cp {
-			t.Fatalf("post-kick tick %d: counters diverged\nserial:   %+v\nparallel: %+v", tick, cs, cp)
+			t.Fatalf("tick %d: counters diverged\nserial:   %+v\nparallel: %+v", tick, cs, cp)
 		}
 		if a, b := serial.AppendStateSnapshot(nil), parallel.AppendStateSnapshot(nil); !bytes.Equal(a, b) {
-			t.Fatalf("post-kick tick %d: snapshots diverged", tick)
+			t.Fatalf("tick %d: snapshots diverged", tick)
 		}
 		// Keep the drains aligned between twins.
 		serial.DrainChunkUpdates()
@@ -144,19 +158,23 @@ func TestEntityEscapeRollback(t *testing.T) {
 		serial.DrainExplosions()
 		parallel.DrainExplosions()
 	}
-	if ps := parallel.ParallelStats(); ps.FallbackTicks == 0 {
-		t.Fatalf("escape never rolled a parallel attempt back: %+v", ps)
+	ps := parallel.ParallelStats()
+	if ps.FallbackTicks == 0 {
+		t.Fatalf("fast escape never forced a serial re-tick: %+v", ps)
+	}
+	if ps.ParallelTicks == 0 {
+		t.Fatalf("re-ticked entities must not demote ticks off the parallel path: %+v", ps)
 	}
 }
 
-// TestEntityUnloadedReadPastDeferredHorizonEscapes covers the one way
-// worker-ticked entities could observe non-serial terrain: a deferred mob's
+// TestEntityUnloadedReadPastGenerationHorizonEscapes covers the one way
+// worker-ticked entities could observe non-serial terrain: a fresh mob's
 // choosePath may GENERATE a chunk (surfaceAt → HighestSolidY) before a
 // higher-ID entity's serial turn, while the worker reads a frozen chunk
-// index. An unloaded read by an entity past the deferred-ID horizon must
-// therefore escape, roll back, and re-run serially — matching the serial
-// twin exactly.
-func TestEntityUnloadedReadPastDeferredHorizonEscapes(t *testing.T) {
+// index. An unloaded read by an entity past the generation horizon must
+// therefore escape to the serial re-tick pass — matching the serial twin
+// exactly.
+func TestEntityUnloadedReadPastGenerationHorizonEscapes(t *testing.T) {
 	build := func(workers int) *World {
 		w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
 		cfg := DefaultConfig()
@@ -164,7 +182,7 @@ func TestEntityUnloadedReadPastDeferredHorizonEscapes(t *testing.T) {
 		cfg.NaturalSpawning = false
 		ew := NewWorld(w, cfg, 99)
 		// Cluster A: one chunk of loaded terrain holding a fresh mob (no
-		// path, cooldown 0 → deferred, lowest ID), plus a higher-ID item
+		// path, cooldown 0 → may generate, lowest ID), plus a higher-ID item
 		// parked over the UNLOADED adjacent chunk — same region (distance 1).
 		w.EnsureArea(world.Pos{X: 8, Z: 8}, 0)
 		ew.SpawnMob(world.Pos{X: 8, Y: 11, Z: 8})
@@ -191,7 +209,7 @@ func TestEntityUnloadedReadPastDeferredHorizonEscapes(t *testing.T) {
 		parallel.DrainChunkUpdates()
 	}
 	if ps := parallel.ParallelStats(); ps.FallbackTicks == 0 {
-		t.Fatalf("unloaded read past the deferred horizon never escaped: %+v", ps)
+		t.Fatalf("unloaded read past the generation horizon never escaped: %+v", ps)
 	}
 }
 

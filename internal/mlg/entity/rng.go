@@ -1,0 +1,80 @@
+package entity
+
+import "repro/internal/mlg/world"
+
+// Per-region decision RNG streams — the entity half of the determinism
+// contract.
+//
+// Mob decisions (choosePath's wander goal and cooldown rolls, followPath's
+// completion roll) used to consume the store's shared RNG, whose draw order
+// was part of a bit-equality contract with the serial loop: the parallel
+// schedule had to route every possibly-drawing mob through a serial replay
+// pass in global ID order, which serialized exactly the workloads (farms
+// full of pathing mobs) the region engine exists to speed up.
+//
+// The contract is now "deterministic per-region streams" instead of "the
+// serial stream": every decision draw comes from a stateless counter-based
+// stream keyed by
+//
+//	world.RegionSeed(world seed, mob's chunk column) ⊕ entity ID ⊕ tick
+//
+// and advanced by draw index within the mob's tick. A draw is a pure
+// function of simulation state, so its value does not depend on worker
+// count, scheduling, or whether the tick ran on the serial loop or a region
+// worker — region workers draw in place, and the serial replay pass is
+// gone. The chunk key makes the streams per-region in the spatial sense
+// (the chunk column is the finest region unit; RegionSeed is the same
+// derivation the terrain engine's region contexts use), so neighbouring
+// mobs' streams stay uncorrelated and a mob's stream changes deterministically
+// as it crosses chunk borders.
+//
+// The store RNG still exists — spawning (item velocities, natural-spawn
+// placement) stays on it, consumed only in the serial phases around the
+// per-entity loop, where global call order is deterministic by construction.
+
+// decisionStream is one mob-tick's decision stream. It is seeded lazily on
+// the first draw (most mob ticks — path following, cooldown waits — draw
+// nothing, and the FNV mix should not tax them), then advances one
+// splitmix64 step per draw. Create exactly one per entity per tick: draws
+// within a tick occur in fixed program order, so the stream's sequence is
+// deterministic.
+type decisionStream struct {
+	ew     *World
+	e      *Entity
+	state  uint64
+	seeded bool
+}
+
+// decisionStreamFor returns the stream for one mob tick. The key uses
+// e.chunk — the spatial-index bucket at tick start — which is stable for
+// the whole tick on both schedules: the serial loop rebuckets only after
+// the kind switch, and region workers buffer rebuckets for the merge.
+func (ew *World) decisionStreamFor(e *Entity) decisionStream {
+	return decisionStream{ew: ew, e: e}
+}
+
+// next advances the stream one draw: splitmix64 over the lazily mixed seed.
+func (d *decisionStream) next() uint64 {
+	if !d.seeded {
+		base := uint64(world.RegionSeed(d.ew.seed, d.e.chunk))
+		d.state = mix64(base ^ mix64(uint64(d.e.ID)^rotl(uint64(d.ew.tickNum), 32)))
+		d.seeded = true
+	}
+	d.state += 0x9E3779B97F4A7C15
+	return mix64(d.state)
+}
+
+// Intn returns a draw in [0, n). Modulo bias at these tiny ranges (n <= 49)
+// is ~2^-59 — irrelevant for wander goals and cooldowns.
+func (d *decisionStream) Intn(n int) int {
+	return int(d.next() % uint64(n))
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over 64 bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func rotl(v uint64, k uint) uint64 { return v<<k | v>>(64-k) }

@@ -39,9 +39,12 @@ type Config struct {
 	// Workers is the number of goroutines ticking independent entity regions
 	// per tick (the same pool discipline and knob as sim.Config.SimWorkers;
 	// the server wires both from one setting). 0 means GOMAXPROCS; 1 keeps
-	// the legacy serial loop. Whatever the value, output is bit-identical:
-	// parallel.go routes every RNG-drawing decision through a serial replay
-	// pass and rolls the tick back whenever it cannot prove equivalence.
+	// the legacy serial loop. Whatever the value, output is identical:
+	// mob decisions draw from per-region RNG streams that are pure functions
+	// of simulation state (see rng.go), and the few entity ticks a worker
+	// cannot complete — ones needing mid-loop terrain generation — are
+	// rolled back and re-ticked serially in ID order (see parallel.go), so
+	// every worker count produces the same world.
 	Workers int
 }
 
@@ -94,6 +97,11 @@ type World struct {
 	wc  world.ChunkCache
 	rng *rand.Rand
 	cfg Config
+	// seed is the world seed the per-region decision streams derive from
+	// (world.RegionSeed; see rng.go). The store rng above is seeded from the
+	// same value but serves only the serial phases (spawn velocities,
+	// natural-spawn placement).
+	seed int64
 
 	list   []*Entity
 	byID   map[int64]*Entity
@@ -119,13 +127,17 @@ type World struct {
 	itemCells map[world.Pos]int64
 
 	// explosionsDue collects TNT detonations for the server to route to the
-	// terrain engine after the entity phase.
+	// terrain engine after the entity phase. exBuf is the tick's ID-keyed
+	// staging buffer: every schedule (serial loop, region merge, re-tick
+	// pass) appends there, and flushExplosions emits to explosionsDue in
+	// entity-ID order at the end of the tick.
 	explosionsDue []world.Pos
+	exBuf         []entExplosion
 
 	counters Counters
 
 	// root is the store's own tick-execution context: the serial loop, the
-	// deferred-decision replay pass and the impulse fallback all run through
+	// escaped-entity re-tick pass and the impulse fallback all run through
 	// it, reading the fields above exactly as the pre-region-split store did.
 	root tickCtx
 	// workers is the resolved Workers value (0 → GOMAXPROCS at creation).
@@ -134,8 +146,9 @@ type World struct {
 	// Parallel-schedule scratch, reused across ticks (see parallel.go).
 	regionScratch   map[world.ChunkPos]int32
 	regionPool      []*entRegion
-	deferScratch    []*Entity
-	exScratch       []entExplosion
+	retickScratch   []*Entity
+	costScratch     []int
+	unitScratch     [][2]int
 	impulseScratch  map[world.ChunkPos]int32
 	impulseCenters  [][]world.Pos
 	impulseCounters []Counters
@@ -159,6 +172,7 @@ func NewWorld(w *world.World, cfg Config, seed int64) *World {
 		wc:           world.NewChunkCache(w),
 		rng:          rand.New(rand.NewSource(seed)),
 		cfg:          cfg,
+		seed:         seed,
 		byID:         make(map[int64]*Entity),
 		index:        newSpatialIndex(),
 		chunkUpdates: make(map[world.ChunkPos]ChunkUpdates),
@@ -324,8 +338,10 @@ func (ew *World) applyImpulse(center world.Pos, radius float64, counters *Counte
 // The per-entity loop — AI, physics, collision, the tick's hot path — runs
 // region-parallel on the SimWorkers pool when the population partitions into
 // independent regions (see parallel.go); otherwise, and as the universal
-// fallback, it runs the legacy serial loop. Either way the output is bit
-// for bit what the serial loop produces. The phases around it (activation
+// fallback, it runs the legacy serial loop. The output is identical under
+// every worker count: mob decisions draw from per-region streams that do not
+// depend on schedule, and the rare entity tick a worker cannot complete is
+// re-ticked serially in ID order. The phases around the loop (activation
 // marking, natural spawning, compaction) consume the store RNG in global
 // order and stay serial.
 func (ew *World) Tick(players []Vec3) Counters {
@@ -342,6 +358,7 @@ func (ew *World) Tick(players []Vec3) Counters {
 			ew.root.tickEntity(e)
 		}
 	}
+	ew.flushExplosions()
 
 	if ew.cfg.NaturalSpawning && len(players) > 0 {
 		ew.naturalSpawns(players)
@@ -378,14 +395,19 @@ func (c *tickCtx) tickEntity(e *Entity) {
 		c.counters.TNTTicks++
 		e.Fuse--
 		c.stepPhysics(e)
+		if r := c.region; r != nil && r.escaped {
+			// Escaped mid-physics: leave the fuse decision to the re-tick
+			// so the detonation buffers exactly once.
+			return
+		}
 		if e.Fuse <= 0 {
 			e.Dead = true
+			// Buffered with the entity ID on every schedule; flushExplosions
+			// emits the tick's batch in serial (ID) order.
 			if r := c.region; r != nil {
-				// Buffered: the merge re-emits detonations in entity-ID
-				// (serial pop) order — see mergeEntRegions.
 				r.explosions = append(r.explosions, entExplosion{id: e.ID, pos: e.Pos.BlockPos()})
 			} else {
-				c.ew.explosionsDue = append(c.ew.explosionsDue, e.Pos.BlockPos())
+				c.ew.exBuf = append(c.ew.exBuf, entExplosion{id: e.ID, pos: e.Pos.BlockPos()})
 			}
 		}
 	}
@@ -397,13 +419,12 @@ func (c *tickCtx) tickEntity(e *Entity) {
 			c.counters.Moved++
 			nc := world.ChunkPosAt(after)
 			if r := c.region; r != nil {
+				// Rebuckets are buffered and applied at the serial merge, so
+				// the destination may lie anywhere — even another region's
+				// chunks. Bucket contents stay frozen for the whole worker
+				// phase, and bucket insertion is ID-sorted, so application
+				// order is immaterial.
 				if nc != e.chunk {
-					if _, ok := r.owned[nc]; !ok {
-						// The entity left the region's owned chunks: the
-						// rebucket cannot be proven local. Roll the tick back.
-						r.escaped = true
-						return
-					}
 					r.moves = append(r.moves, entMove{e: e, to: nc})
 				}
 				r.chunkMoved[nc]++

@@ -37,8 +37,9 @@ type Config struct {
 	// world-exclusive phases — the terrain drain (sim.Config.SimWorkers) and
 	// the entity tick (entity.Config.Workers) share the knob and the worker
 	// pool: 0 means GOMAXPROCS, 1 forces the legacy serial paths (the
-	// differential-testing baseline). Any value produces bit-identical
-	// simulation output.
+	// differential-testing baseline). Simulation output is worker-count
+	// independent — any value produces identical results (per-region
+	// decision streams; see internal/mlg/entity).
 	SimWorkers int
 }
 

@@ -187,11 +187,14 @@ type Engine struct {
 	root exec
 
 	// Parallel-schedule scratch, reused across ticks: the dirty-chunk map,
-	// the initial virtual-queue tag buffers, and pooled region shells.
+	// the initial virtual-queue tag buffers, pooled region shells, and the
+	// cost/unit buffers of the size-aware work packer.
 	dirtyScratch map[world.ChunkPos]int32
 	vpScratch    []int32
 	vrScratch    []int32
 	regionPool   []*regionRun
+	costScratch  []int
+	unitScratch  [][2]int
 
 	// Parallel-schedule attribution (see ParallelStats).
 	lastRegions   int

@@ -246,30 +246,48 @@ func (e *Engine) tryParallelDrains(budget int) bool {
 		return false
 	}
 
+	// Size the fan-out by the work available: regions pack into contiguous
+	// cost-balanced units (cost = the queue entries a region will actually
+	// drain this tick), so many small regions share a few worker handoffs
+	// and a light tick spawns only the goroutines its units need.
+	costs := e.costScratch[:0]
+	for _, r := range regions {
+		cost := len(r.pendingQ) + 1
+		if evenTick {
+			cost += len(r.redstoneQ)
+		}
+		costs = append(costs, cost)
+	}
+	e.costScratch = costs
+	units := world.PackUnits(e.unitScratch[:0], costs, e.workers*unitsPerWorker, minUnitUpdates)
+	e.unitScratch = units
+
 	// Exclusive phase: the world lock is held across the drains, standing
 	// in for the serial drain's per-SetBlock lock acquisitions. External
 	// readers block exactly as they would behind a serial update storm;
 	// workers never touch the lock (their caches resolve from the frozen
 	// chunk index) and never touch each other's chunks.
 	index := e.w.BeginExclusive()
-	world.Parallel(e.workers, len(regions), func(idx int) {
-		r := regions[idx]
-		r.cache = world.NewFixedChunkCache(index)
-		x := &exec{
-			e:        e,
-			wc:       &r.cache,
-			counters: &r.counters,
-			pending:  &r.pendingQ,
-			redstone: &r.redstoneQ,
-			region:   r,
+	world.Parallel(e.workers, len(units), func(u int) {
+		for idx := units[u][0]; idx < units[u][1]; idx++ {
+			r := regions[idx]
+			r.cache = world.NewFixedChunkCache(index)
+			x := &exec{
+				e:        e,
+				wc:       &r.cache,
+				counters: &r.counters,
+				pending:  &r.pendingQ,
+				redstone: &r.redstoneQ,
+				region:   r,
+			}
+			if e.cfg.RedstoneBatch {
+				// Fresh per-region dedup map: within a tick a wire belongs
+				// to exactly one region, and entries never carry across
+				// ticks (the lookup compares the tick).
+				x.wireSeen = make(map[world.Pos]int64)
+			}
+			r.run(x, evenTick)
 		}
-		if e.cfg.RedstoneBatch {
-			// Fresh per-region dedup map: within a tick a wire belongs to
-			// exactly one region, and entries never carry across ticks (the
-			// lookup compares the tick).
-			x.wireSeen = make(map[world.Pos]int64)
-		}
-		r.run(x, evenTick)
 	})
 
 	abort := false

@@ -36,6 +36,16 @@ const regionLinkChunks = 3
 // worth the partition + worker handoff cost and the tick drains serially.
 const minParallelUpdates = 32
 
+// minUnitUpdates is the target drained-update count per packed work unit:
+// regions merge into contiguous units until each carries at least this much
+// estimated work, so the parallel fan-out follows the queue volume rather
+// than the region count.
+const minUnitUpdates = 16
+
+// unitsPerWorker bounds the packed unit count to a few units per worker —
+// slack for the pool's work stealing without per-region handoff overhead.
+const unitsPerWorker = 4
+
 // partitionRegions groups the engine's queued updates into simulation
 // regions. It returns the regions sorted by key (minimal core chunk in
 // (Z, X) order — the same convention as World.LoadedChunks), plus the

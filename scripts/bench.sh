@@ -1,24 +1,32 @@
 #!/usr/bin/env bash
 # bench.sh — run the tick + network benchmarks and record the perf
-# trajectory into a JSON file (default BENCH_5.json): one entry per
-# benchmark with name, ns/op and allocs/op. The set includes both
-# region-parallel sweeps — BenchmarkTickParallel (whole server ticks,
-# SimWorkers 1/2/4 over the scale>=2 construct workloads) and
-# BenchmarkEntityTickParallel (store-level entity ticks, Workers 1/2/4 over
-# multi-cluster populations) — so the serial-vs-parallel trajectories of
-# both world-exclusive phases are recorded next to the per-workload serial
-# baselines. Core-scaling only shows on hosts with >= 2 CPUs.
+# trajectory into a JSON file (default BENCH_6.json): one entry per
+# benchmark with name, ns/op, allocs/op and cpus. Two passes:
 #
-# BENCH_5.json is the committed baseline the CI perf gate diffs fresh runs
-# against: scripts/bench_compare.sh fails the build on >25% calibrated
-# ns/op or any allocs/op regression in the pinned benchmark set (see its
-# header for the exact rules). Re-record it in the same change as any
-# intentional perf shift — and ALWAYS with BENCHTIME=1x, the mode CI
-# measures in: multi-iteration runs amortize setup allocations (e.g.
-# BenchmarkSendReal reports ~99 allocs/op at 20x vs ~640 at 1x), so a
-# 1s-recorded baseline makes the 1x alloc gate fail spuriously.
+#   1. the full pinned set at -cpu 1 (GOMAXPROCS=1) — the serial per-
+#      workload baselines the time gate protects, plus the workers sweeps
+#      (BenchmarkTickParallel, BenchmarkEntityTickParallel) pinned single-
+#      core so their alloc trajectories stay machine-independent;
+#   2. the two region-parallel sweeps again at -cpu 2,4,8 — the multicore
+#      scaling record for the worker schedulers.
 #
-#   BENCHTIME=1x scripts/bench.sh BENCH_5.json   # re-record the gate baseline
+# cpus is parsed from go test's -N GOMAXPROCS name suffix (absent at 1), so
+# it records what the measurement actually ran under — NOT the host's
+# physical core count. On a single-core host the 2/4/8 entries are
+# time-sliced (no real scaling, and that is what gets recorded); real
+# speedups only appear on runners with that many cores.
+#
+# BENCH_6.json is the committed baseline the CI perf gate diffs fresh runs
+# against: scripts/bench_compare.sh keys entries on (name, cpus) and fails
+# the build on >25% calibrated ns/op or any allocs/op regression in the
+# pinned set (see its header for the exact rules — cpus>1 entries are
+# alloc-gated only). Re-record it in the same change as any intentional
+# perf shift — and ALWAYS with BENCHTIME=1x, the mode CI measures in:
+# multi-iteration runs amortize setup allocations (e.g. BenchmarkSendReal
+# reports ~99 allocs/op at 20x vs ~640 at 1x), so a 1s-recorded baseline
+# makes the 1x alloc gate fail spuriously.
+#
+#   BENCHTIME=1x scripts/bench.sh BENCH_6.json   # re-record the gate baseline
 #
 # Usage:
 #   scripts/bench.sh [out.json]       # local profiling (1s per benchmark)
@@ -26,26 +34,36 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 benchtime="${BENCHTIME:-1s}"
+
+full='BenchmarkTick$|BenchmarkTickParallel$|BenchmarkEntityTickParallel$|BenchmarkSendReal$|BenchmarkSerializeChunk$'
+sweep='BenchmarkTickParallel$|BenchmarkEntityTickParallel$'
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' \
-  -bench 'BenchmarkTick$|BenchmarkTickParallel$|BenchmarkEntityTickParallel$|BenchmarkSendReal$|BenchmarkSerializeChunk$' \
-  -benchmem -benchtime "$benchtime" \
+go test -run '^$' -bench "$full" \
+  -benchmem -benchtime "$benchtime" -cpu 1 \
   ./internal/mlg/server ./internal/mlg/entity | tee "$raw"
 
-awk -v ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
+go test -run '^$' -bench "$sweep" \
+  -benchmem -benchtime "$benchtime" -cpu 2,4,8 \
+  ./internal/mlg/server ./internal/mlg/entity | tee -a "$raw"
+
+awk '
   /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    name = $1; cpus = 1
+    if (match(name, /-[0-9]+$/)) {       # go test suffixes -GOMAXPROCS when != 1
+      cpus = substr(name, RSTART + 1)
+      name = substr(name, 1, RSTART - 1)
+    }
     ns = "null"; allocs = "null"
     for (i = 2; i <= NF; i++) {
       if ($(i + 1) == "ns/op")     ns = $i
       if ($(i + 1) == "allocs/op") allocs = $i
     }
-    printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"cpus\": %s}", sep, name, ns, allocs, ncpu
+    printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"cpus\": %s}", sep, name, ns, allocs, cpus
     sep = ",\n"
   }
   BEGIN { print "[" }

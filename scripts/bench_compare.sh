@@ -4,9 +4,13 @@
 #
 #   scripts/bench_compare.sh fresh.json [baseline.json ...]
 #
-# Baselines default to BENCH_4.json BENCH_5.json; when several baselines pin
-# the same benchmark, the later file wins (BENCH_5 supersedes BENCH_4). The
-# pinned set is exactly the merged baseline's benchmark names:
+# Baselines default to BENCH_4.json BENCH_5.json BENCH_6.json; when several
+# baselines pin the same benchmark, the later file wins (BENCH_6 supersedes
+# BENCH_5 supersedes BENCH_4). Entries are keyed on (name, cpus) — cpus
+# defaults to 1 for baselines recorded before the multicore sweep existed —
+# so a cpus:1 measurement is only ever compared against a cpus:1 baseline,
+# never against a sweep entry of the same benchmark. The pinned set is
+# exactly the merged baseline's keys:
 #
 #   - a pinned benchmark missing from the fresh trajectory fails the gate
 #     (the set may only shrink by editing the committed baseline in the same
@@ -17,16 +21,16 @@
 #   - ns/op depends on the host, so the gate is relative: per-benchmark
 #     fresh/base ratios are calibrated by their median — a uniformly slower
 #     CI runner shifts every ratio equally and passes — and any benchmark
-#     more than 25% above the calibrated expectation fails. Two classes are
-#     exempt from the time gate (alloc-gated only): benchmarks under
+#     more than 25% above the calibrated expectation fails. Three classes
+#     are exempt from the time gate (alloc-gated only): benchmarks under
 #     50 ms/op, where a single -benchtime=1x sample swings with scheduler
-#     noise alone, and the workers>=2 sweep entries, whose speed shifts
-#     NON-uniformly with the runner's core count relative to a baseline
-#     recorded on a different host (a 4-vCPU runner speeds them up 2-4x
-#     against a 1-CPU baseline, which would drag the calibration median off
-#     the uniform serial shift). The time-gated set is therefore the long
-#     serial 60-tick window benches — the per-workload hot-path cost this
-#     gate exists to protect.
+#     noise alone; the workers>=2 sweep entries; and every cpus>1 entry.
+#     The latter two shift NON-uniformly with the runner's core count
+#     relative to a baseline recorded on a different host (a 4-vCPU runner
+#     speeds them up 2-4x against a 1-CPU baseline, which would drag the
+#     calibration median off the uniform serial shift). The time-gated set
+#     is therefore the long serial 60-tick window benches at cpus:1 — the
+#     per-workload hot-path cost this gate exists to protect.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,22 +38,24 @@ fresh="${1:?usage: scripts/bench_compare.sh fresh.json [baseline.json ...]}"
 shift || true
 baselines=("$@")
 if [ "${#baselines[@]}" -eq 0 ]; then
-  baselines=(BENCH_4.json BENCH_5.json)
+  baselines=(BENCH_4.json BENCH_5.json BENCH_6.json)
 fi
 
 out=$(jq -s -r '
-  (.[0] | map({key: .name, value: .}) | from_entries) as $fresh
-  | (.[1:] | add | group_by(.name) | map(.[-1])) as $base
-  | ($base | map(. + {f: $fresh[.name]})) as $rows
+  def key: "\(.name)@\(.cpus // 1)";
+  (.[0] | map({key: key, value: .}) | from_entries) as $fresh
+  | (.[1:] | add | group_by(key) | map(.[-1])) as $base
+  | ($base | map(. + {f: $fresh[key]})) as $rows
   | ($rows | map(select(.f == null)
-      | "FAIL missing: pinned benchmark \(.name) absent from fresh trajectory")) as $missing
+      | "FAIL missing: pinned benchmark \(key) absent from fresh trajectory")) as $missing
   | ($rows | map(select(.f != null and .allocs_per_op != null and .f.allocs_per_op != null)
       | select(.f.allocs_per_op > .allocs_per_op * 1.10 + 32)
-      | "FAIL allocs: \(.name) \(.allocs_per_op) -> \(.f.allocs_per_op) allocs/op")) as $alloc_fails
+      | "FAIL allocs: \(key) \(.allocs_per_op) -> \(.f.allocs_per_op) allocs/op")) as $alloc_fails
   | ($rows | map(select(.f != null and .ns_per_op != null and .f.ns_per_op != null
                         and .ns_per_op >= 50000000
+                        and ((.cpus // 1) == 1)
                         and (.name | test("workers[2-9]") | not))
-      | {name, r: (.f.ns_per_op / .ns_per_op)})) as $timed
+      | {name: key, r: (.f.ns_per_op / .ns_per_op)})) as $timed
   | (if ($timed | length) == 0 then 1
      else ($timed | map(.r) | sort | .[(length / 2 | floor)]) end) as $cal
   | ($timed | map(select(.r > $cal * 1.25)
