@@ -1,0 +1,118 @@
+// Command scenario runs the scenario-simulation harness from the command
+// line: the curated library, a single named scenario, or a sweep of
+// generated random scenarios, each executed against lockstep twin servers
+// at several SimWorkers values with invariants checked after every step.
+//
+// Usage:
+//
+//	scenario -list                 # list curated scenarios
+//	scenario                       # run the curated library
+//	scenario -run cross-region-tnt # run one curated scenario
+//	scenario -rounds 200           # model-check 200 random scenarios
+//	scenario -seed 0x5eed002a      # replay one generated scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list curated scenarios and exit")
+		run     = flag.String("run", "", "run one curated scenario by name")
+		seed    = flag.String("seed", "", "replay one generated scenario from this seed (decimal or 0x hex)")
+		rounds  = flag.Int("rounds", 0, "model-check this many random scenarios")
+		base    = flag.Uint64("base", 0x5eed0000, "first seed of the random sweep")
+		workers = flag.String("workers", "1,2,4", "comma-separated SimWorkers values for the twins")
+	)
+	flag.Parse()
+
+	opts := scenario.Options{}
+	for _, f := range strings.Split(*workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "bad -workers entry %q\n", f)
+			os.Exit(2)
+		}
+		opts.Workers = append(opts.Workers, n)
+	}
+
+	switch {
+	case *list:
+		for _, sc := range scenario.Library() {
+			fmt.Printf("%-28s %s x%d, %s, %d steps, %d ticks\n",
+				sc.Name, sc.Workload, max(1, sc.Scale), sc.Flavor.Name, len(sc.Steps), sc.TotalTicks())
+		}
+
+	case *run != "":
+		sc := scenario.ByName(*run)
+		if sc == nil {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (see -list)\n", *run)
+			os.Exit(2)
+		}
+		exit(scenario.Run(sc, opts))
+
+	case *seed != "":
+		n, err := strconv.ParseUint(strings.TrimPrefix(*seed, "0x"), seedBase(*seed), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -seed %q: %v\n", *seed, err)
+			os.Exit(2)
+		}
+		exit(scenario.RunRandom(n, opts))
+
+	case *rounds > 0:
+		failed := 0
+		for i := 0; i < *rounds; i++ {
+			res := scenario.RunRandom(*base+uint64(i), opts)
+			fmt.Println(res.String())
+			if res.Failed {
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Printf("%d/%d random scenarios failed\n", failed, *rounds)
+			os.Exit(1)
+		}
+		fmt.Printf("all %d random scenarios passed\n", *rounds)
+
+	default:
+		failed := 0
+		for _, sc := range scenario.Library() {
+			res := scenario.Run(sc, opts)
+			fmt.Println(res.String())
+			if res.Failed {
+				failed++
+			}
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+func seedBase(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+func exit(res *scenario.Result) {
+	fmt.Println(res.String())
+	if res.Failed {
+		os.Exit(1)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -14,9 +14,7 @@ package server_test
 // fails here tick-by-tick, with the first divergent counter visible.
 
 import (
-	"bytes"
 	"fmt"
-	"hash/fnv"
 	"testing"
 	"time"
 
@@ -25,16 +23,6 @@ import (
 	"repro/internal/mlg/world"
 	"repro/internal/workload"
 )
-
-// terrainChecksum hashes all loaded chunk contents in deterministic order.
-func terrainChecksum(w *world.World) uint64 {
-	h := fnv.New64a()
-	for _, c := range w.LoadedChunkRefs() {
-		fmt.Fprintf(h, "%v:%d;", c.Pos, c.NonAirCount())
-		h.Write(c.AppendRLE(nil))
-	}
-	return h.Sum64()
-}
 
 func newMatrixServer(k workload.Kind, f server.Flavor, simWorkers int) *server.Server {
 	w := workload.NewWorld(k, world.PaperControlSeed)
@@ -105,20 +93,12 @@ func TestSerialParallelTickMatrix(t *testing.T) {
 						t.Fatalf("tick %d: SimWorkers=1 server took a parallel path", i+1)
 					}
 				}
-				if a, b := terrainChecksum(serial.World()), terrainChecksum(parallel.World()); a != b {
-					t.Fatalf("terrain diverged after run: %#x vs %#x", a, b)
-				}
-				if sc, pc := serial.EntityWorld().Count(), parallel.EntityWorld().Count(); sc != pc {
-					t.Fatalf("final entity population diverged: %d vs %d", sc, pc)
-				}
-				sSnap := serial.EntityWorld().AppendStateSnapshot(nil)
-				pSnap := parallel.EntityWorld().AppendStateSnapshot(nil)
-				if !bytes.Equal(sSnap, pSnap) {
-					t.Fatalf("final entity state snapshots diverged (%d vs %d bytes)",
-						len(sSnap), len(pSnap))
-				}
-				if ic1, ic2 := serial.Engine().ItemsCollected, parallel.Engine().ItemsCollected; ic1 != ic2 {
-					t.Fatalf("items collected diverged: %d vs %d", ic1, ic2)
+				// Final-state equivalence goes through the same comparison
+				// path the scenario harness uses: terrain contents, entity
+				// populations and state, collected items, traffic totals.
+				ss, ps := serial.Snapshot(), parallel.Snapshot()
+				if d := ss.Diff(&ps); d != "" {
+					t.Fatalf("final state diverged: %s", d)
 				}
 				// The construct workloads must actually exercise the
 				// region-parallel schedules (two clusters at Scale 2): the

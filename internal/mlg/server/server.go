@@ -173,6 +173,10 @@ type Server struct {
 	// sendScratch holds sendReal's per-tick buffers, reused across ticks.
 	sendScratch sendBuffers
 
+	// deliverHook, when non-nil, observes per-player entity-update delivery
+	// decisions (see OnEntityDelivery). Tick goroutine only.
+	deliverHook func(playerID int64, chunk world.ChunkPos)
+
 	// blockChanges collects this tick's terrain state updates for
 	// dissemination. The count (blockChangeCount) is always maintained for
 	// the accounting path; the materialized packets are buffered only while
@@ -292,6 +296,34 @@ func New(w *world.World, cfg Config, machine *env.Machine, clock env.Clock) *Ser
 
 // World returns the server's terrain world.
 func (s *Server) World() *world.World { return s.w }
+
+// Config returns the server's configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// SetSimWorkers reconfigures the per-tick simulation parallelism of both
+// world-exclusive phases between ticks: the terrain drain and the entity
+// tick switch schedulers on their next tick, exactly as if the server had
+// been restarted with the new value (0 = GOMAXPROCS, 1 = legacy serial
+// paths). Simulation output is worker-count independent, so the switch may
+// only change wall-clock time — the scenario harness reconfigures mid-run
+// and asserts exactly that. Call it only between ticks, from the goroutine
+// driving Tick.
+func (s *Server) SetSimWorkers(n int) {
+	s.cfg.SimWorkers = n
+	s.engine.SetWorkers(n)
+	s.ents.SetWorkers(n)
+}
+
+// OnEntityDelivery registers a test hook observing every virtual entity
+// state-update delivery decision: fn is called once per (chunk update,
+// interested player) pair the dissemination phase fans out, with the
+// receiving player and the chunk the update batch belongs to. The scenario
+// harness uses it to check interest-set correctness (every delivered
+// update's chunk lies within the receiver's view distance) independently of
+// the fan-out code. Tick-goroutine only; nil clears the hook.
+func (s *Server) OnEntityDelivery(fn func(playerID int64, chunk world.ChunkPos)) {
+	s.deliverHook = fn
+}
 
 // Engine returns the terrain-simulation engine (for workload installers).
 func (s *Server) Engine() *sim.Engine { return s.engine }
@@ -748,9 +780,12 @@ func (s *Server) disseminate(counts *tickCounts) {
 		var moved, spawned, despawned int
 		for _, u := range updates {
 			interested := 0
-			for _, pc := range playerChunks {
+			for i, pc := range playerChunks {
 				if chunkWithinView(u.Pos, pc, vd) {
 					interested++
+					if s.deliverHook != nil {
+						s.deliverHook(players[i].ID, u.Pos)
+					}
 				}
 			}
 			moved += u.Moved * interested

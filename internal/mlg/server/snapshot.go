@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/mlg/entity"
+	"repro/internal/mlg/world"
+)
+
+// Snapshot bundles the externally visible state of a server at a tick
+// boundary: tick position, population, cumulative traffic, the entity-store
+// state fingerprint and the per-chunk terrain fingerprints. It is the one
+// comparison path shared by the serial-vs-parallel equivalence suites and
+// the scenario harness — two servers that ran the same inputs must produce
+// Equivalent snapshots at every tick boundary, whatever their SimWorkers.
+//
+// Call it between ticks, from the goroutine driving Tick (it walks entity
+// and chunk state the same way the per-tick phases do).
+type Snapshot struct {
+	Tick           int64
+	Players        int
+	Entities       int
+	Mobs           int
+	Items          int
+	TNT            int
+	ItemsCollected int64
+	Net            NetTotals
+	// EntitySum is the FNV-1a checksum of the full entity wire snapshot
+	// (entity.AppendStateSnapshot): every live entity's identity, motion and
+	// lifecycle state in ID order.
+	EntitySum uint64
+	// Chunks fingerprints every loaded chunk in deterministic order. Chunk
+	// revisions are included for single-server cache-consistency checks but
+	// excluded from cross-server equivalence (see world.ChunkState).
+	Chunks []world.ChunkState
+}
+
+// Snapshot captures the server's current state fingerprint.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	snap := Snapshot{
+		Tick:    s.tick,
+		Players: len(s.players),
+		Net:     s.net,
+	}
+	s.mu.Unlock()
+	snap.Entities = s.ents.Count()
+	snap.Mobs = s.ents.CountByKind(entity.Mob)
+	snap.Items = s.ents.CountByKind(entity.Item)
+	snap.TNT = s.ents.CountByKind(entity.PrimedTNT)
+	snap.ItemsCollected = s.engine.ItemsCollected
+	h := fnv.New64a()
+	h.Write(s.ents.AppendStateSnapshot(nil))
+	snap.EntitySum = h.Sum64()
+	snap.Chunks = s.w.ChunkStates()
+	return snap
+}
+
+// Diff compares two snapshots for simulation equivalence and returns "" when
+// they are equivalent, or a description of the first difference. Chunk
+// revisions are deliberately not compared: they are monotonic cache keys that
+// a rolled-back parallel attempt advances without changing content.
+func (a *Snapshot) Diff(b *Snapshot) string {
+	switch {
+	case a.Tick != b.Tick:
+		return fmt.Sprintf("tick %d vs %d", a.Tick, b.Tick)
+	case a.Players != b.Players:
+		return fmt.Sprintf("players %d vs %d", a.Players, b.Players)
+	case a.Entities != b.Entities:
+		return fmt.Sprintf("entity population %d vs %d", a.Entities, b.Entities)
+	case a.Mobs != b.Mobs || a.Items != b.Items || a.TNT != b.TNT:
+		return fmt.Sprintf("entity kinds mob/item/tnt %d/%d/%d vs %d/%d/%d",
+			a.Mobs, a.Items, a.TNT, b.Mobs, b.Items, b.TNT)
+	case a.ItemsCollected != b.ItemsCollected:
+		return fmt.Sprintf("items collected %d vs %d", a.ItemsCollected, b.ItemsCollected)
+	case a.Net != b.Net:
+		return fmt.Sprintf("net totals %+v vs %+v", a.Net, b.Net)
+	case a.EntitySum != b.EntitySum:
+		return fmt.Sprintf("entity state snapshots diverged (%#x vs %#x)", a.EntitySum, b.EntitySum)
+	case len(a.Chunks) != len(b.Chunks):
+		return fmt.Sprintf("loaded chunk count %d vs %d", len(a.Chunks), len(b.Chunks))
+	}
+	for i := range a.Chunks {
+		ca, cb := a.Chunks[i], b.Chunks[i]
+		if ca.Pos != cb.Pos {
+			return fmt.Sprintf("chunk set diverged at index %d: %v vs %v", i, ca.Pos, cb.Pos)
+		}
+		if ca.NonAir != cb.NonAir || ca.Sum != cb.Sum {
+			return fmt.Sprintf("chunk %v content diverged: nonAir %d/%d sum %#x/%#x",
+				ca.Pos, ca.NonAir, cb.NonAir, ca.Sum, cb.Sum)
+		}
+	}
+	return ""
+}

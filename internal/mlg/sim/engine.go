@@ -315,6 +315,21 @@ func New(w *world.World, ents EntityOps, cfg Config, seed int64) *Engine {
 	return e
 }
 
+// SetWorkers reconfigures the drain scheduler's worker count between ticks
+// (0 = GOMAXPROCS, 1 = serial drains), as if the engine had been restarted
+// with the new SimWorkers: the serial-hold hysteresis resets so the next
+// tick re-evaluates the schedule fresh. Output is unaffected — the parallel
+// drain is bit-identical to the serial one — so this trades wall-clock time
+// only. Must not be called while a tick is in flight.
+func (e *Engine) SetWorkers(n int) {
+	e.cfg.SimWorkers = n
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.workers = n
+	e.serialHold = 0
+}
+
 // onBlockChange queues neighbour updates for every terrain mutation — the
 // "terrain simulation is driven by terrain state updates" loop of §2.3.
 func (e *Engine) onBlockChange(p world.Pos, old, new world.Block) {

@@ -1,0 +1,62 @@
+package scenario
+
+// ShrinkPrefix reduces a failing scenario to its shortest failing step
+// prefix by bisection: invariants assert after every step, so if the full
+// script fails at step k, some prefix of length <= k+1 fails too, and
+// failure is monotone in prefix length. End-of-run failures (ISR,
+// expectations) are the exception — for those the bisection still finds the
+// shortest prefix that reproduces them. Returns the shrunk scenario and its
+// failing result; if shrinking cannot reproduce the failure (flaky — which
+// the deterministic engine should make impossible), the original scenario
+// and result are returned unchanged.
+func ShrinkPrefix(sc *Scenario, res *Result, opts Options) (*Scenario, *Result) {
+	if !res.Failed || len(sc.Steps) == 0 {
+		return sc, res
+	}
+	prefix := func(n int) *Scenario {
+		cp := *sc
+		cp.Steps = sc.Steps[:n]
+		cp.Expect = nil // expectations assume the full script ran
+		return &cp
+	}
+	// hi is the shortest prefix length known to fail; failures during
+	// warmup or at step k imply the prefix of length k+1 fails as well.
+	hi := len(sc.Steps)
+	if res.Step >= 0 && res.Step < len(sc.Steps) {
+		hi = res.Step + 1
+	}
+	best := Run(prefix(hi), opts)
+	if !best.Failed {
+		return sc, res // not reproducible under a truncated script
+	}
+	lo := 0 // longest prefix length known to pass
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if r := Run(prefix(mid), opts); r.Failed {
+			hi, best = mid, r
+		} else {
+			lo = mid
+		}
+	}
+	shrunk := prefix(hi)
+	best.Scenario = shrunk
+	best.ShrunkSteps = hi
+	return shrunk, best
+}
+
+// RunRandom generates the scenario for seed, runs it, and shrinks any
+// failure to a minimal prefix. The result carries the generator seed so the
+// failure replays with -scenario.seed.
+func RunRandom(seed uint64, opts Options) *Result {
+	sc := Generate(seed)
+	res := Run(sc, opts)
+	res.GenSeed = seed
+	if res.Failed {
+		_, shrunk := ShrinkPrefix(sc, res, opts)
+		if shrunk != res {
+			shrunk.GenSeed = seed
+			return shrunk
+		}
+	}
+	return res
+}

@@ -12,9 +12,11 @@
 # never against a sweep entry of the same benchmark. The pinned set is
 # exactly the merged baseline's keys:
 #
-#   - a pinned benchmark missing from the fresh trajectory fails the gate
-#     (the set may only shrink by editing the committed baseline in the same
-#     change);
+#   - a pinned cpus:1 benchmark missing from the fresh trajectory fails the
+#     gate (the set may only shrink by editing the committed baseline in the
+#     same change). Pinned cpus>1 entries are skipped with a warning when
+#     absent: bench.sh only sweeps the multicore points the host can run, so
+#     a 1-core CI runner legitimately produces no cpus:2/4 measurements;
 #   - allocs/op is machine-independent, so it gates near-absolutely: fresh
 #     above base*1.10 + 32 fails (the headroom covers scheduler-dependent
 #     allocation jitter in the workers>=2 sweeps);
@@ -46,8 +48,10 @@ out=$(jq -s -r '
   (.[0] | map({key: key, value: .}) | from_entries) as $fresh
   | (.[1:] | add | group_by(key) | map(.[-1])) as $base
   | ($base | map(. + {f: $fresh[key]})) as $rows
-  | ($rows | map(select(.f == null)
+  | ($rows | map(select(.f == null and (.cpus // 1) == 1)
       | "FAIL missing: pinned benchmark \(key) absent from fresh trajectory")) as $missing
+  | ($rows | map(select(.f == null and (.cpus // 1) > 1)
+      | "WARN missing: pinned benchmark \(key) absent from fresh trajectory (multicore point not run on this host; skipped)")) as $missing_mc
   | ($rows | map(select(.f != null and .allocs_per_op != null and .f.allocs_per_op != null)
       | select(.f.allocs_per_op > .allocs_per_op * 1.10 + 32)
       | "FAIL allocs: \(key) \(.allocs_per_op) -> \(.f.allocs_per_op) allocs/op")) as $alloc_fails
@@ -62,6 +66,7 @@ out=$(jq -s -r '
       | "FAIL ns/op: \(.name) ratio \((.r * 100 | round) / 100) vs calibrated median \((($cal) * 100 | round) / 100) (> +25%)")) as $time_fails
   | ($missing + $alloc_fails + $time_fails) as $fails
   | (["perf gate: \($rows | length) pinned benchmarks, \($timed | length) time-gated, median speed ratio \((($cal) * 1000 | round) / 1000)"]
+     + $missing_mc
      + $fails
      + [if ($fails | length) == 0 then "perf gate: PASS"
         else "perf gate: \($fails | length) regression(s)" end])
