@@ -5,13 +5,22 @@
 // Usage:
 //
 //	mlgserver [-addr :25565] [-flavor Minecraft] [-world Control] [-seed N]
+//	          [-save-dir DIR] [-snapshot-every N] [-snapshot-full-every N]
 //
 // The server runs in wall-clock mode: tick durations are measured, not
 // modelled, so this binary also serves as the real-hardware baseline for
 // comparing the virtual-time engine against actual execution.
+//
+// With -save-dir the server becomes crash-safe: it snapshots the complete
+// world/sim/entity/player state every -snapshot-every ticks (atomic
+// write-to-temp + fsync + rename, checksummed, full snapshots interleaved
+// with incrementals), restores the newest good snapshot on start — falling
+// back past torn or corrupt files — and flushes a final snapshot on
+// SIGINT/SIGTERM after the tick loop drains.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +32,7 @@ import (
 
 	"repro/internal/env"
 	"repro/internal/metrics"
+	"repro/internal/mlg/persist"
 	"repro/internal/mlg/server"
 	"repro/internal/mlg/world"
 	"repro/internal/telemetry"
@@ -35,6 +45,9 @@ func main() {
 		flavorName = flag.String("flavor", "Minecraft", "MLG flavor: Minecraft, Forge, PaperMC")
 		worldName  = flag.String("world", "Control", "workload world: Control, Farm, TNT, Lag, Players")
 		seed       = flag.Int64("seed", world.PaperControlSeed, "world seed")
+		saveDir    = flag.String("save-dir", "", "snapshot directory (empty = persistence off)")
+		snapEvery  = flag.Int("snapshot-every", 200, "snapshot cadence in ticks (with -save-dir)")
+		snapFull   = flag.Int("snapshot-full-every", 10, "every Nth snapshot is full, the rest incremental")
 	)
 	flag.Parse()
 
@@ -50,10 +63,52 @@ func main() {
 	w := workload.NewWorld(kind, *seed)
 	cfg := server.DefaultConfig(flavor)
 	s := server.New(w, cfg, nil, env.RealClock{}) // wall-clock mode
-	if err := workload.Install(s, kind.DefaultSpec()); err != nil {
-		log.Fatal(err)
+
+	// With a save directory, restore the newest good snapshot instead of
+	// installing the workload from scratch; the store skips torn or corrupt
+	// files and falls back to the last one whose checksums verify.
+	var st *persist.Store
+	restored := false
+	if *saveDir != "" {
+		var err error
+		if st, err = persist.NewStore(*saveDir); err != nil {
+			log.Fatal(err)
+		}
+		switch res, err := st.LoadLatest(); {
+		case err == nil:
+			for _, skip := range res.Skipped {
+				log.Printf("skipping damaged snapshot %s", skip)
+			}
+			if err := s.RestoreSnapshot(res); err != nil {
+				log.Fatalf("restore %s: %v", res.Path, err)
+			}
+			log.Printf("restored tick %d from %s", res.Tick, res.Path)
+			restored = true
+		case errors.Is(err, persist.ErrNoSnapshot):
+			log.Printf("no snapshot in %s, starting fresh", *saveDir)
+		default:
+			log.Fatal(err)
+		}
 	}
-	workload.Arm(s, kind.DefaultSpec())
+	if !restored {
+		if err := workload.Install(s, kind.DefaultSpec()); err != nil {
+			log.Fatal(err)
+		}
+		workload.Arm(s, kind.DefaultSpec())
+	}
+
+	var sn *server.Snapshotter
+	if st != nil {
+		sn = server.NewSnapshotter(s, st, server.SnapshotterConfig{
+			Every: *snapEvery, FullEvery: *snapFull,
+		})
+		s.OnAfterTick(func(rec server.TickRecord) {
+			sn.MaybeSnapshot(rec.Tick)
+			if err := sn.Err(); err != nil {
+				log.Printf("snapshot: %v", err)
+			}
+		})
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -66,7 +121,11 @@ func main() {
 			log.Printf("serve: %v", err)
 		}
 	}()
-	go s.Run()
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		s.Run()
+	}()
 
 	// Periodic operational stats via the metric externalizer.
 	ex := telemetry.NewExternalizer(s)
@@ -83,10 +142,23 @@ func main() {
 		}
 	}()
 
+	// Graceful shutdown: stop accepting, let the in-flight tick finish (Run
+	// returns only between ticks), then flush one final snapshot so a
+	// restart resumes exactly where the process left off.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\nshutting down")
 	s.Stop()
+	<-runDone
+	if sn != nil {
+		sn.Snapshot()
+		sn.Close()
+		if err := sn.Err(); err != nil {
+			log.Printf("final snapshot: %v", err)
+		} else if p := st.LatestPath(); p != "" {
+			log.Printf("final snapshot written: %s", p)
+		}
+	}
 	ln.Close()
 }

@@ -16,11 +16,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/scenario"
 )
+
+// interrupted reports whether SIGINT/SIGTERM has arrived: long sweeps check
+// it between scenarios so an interrupt finishes the in-flight run, prints
+// the summary so far, and exits cleanly instead of dying mid-scenario.
+func interrupted(sig chan os.Signal) bool {
+	select {
+	case <-sig:
+		return true
+	default:
+		return false
+	}
+}
 
 func main() {
 	var (
@@ -67,23 +81,36 @@ func main() {
 		exit(scenario.RunRandom(n, opts))
 
 	case *rounds > 0:
-		failed := 0
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		failed, ran := 0, 0
 		for i := 0; i < *rounds; i++ {
+			if interrupted(sig) {
+				fmt.Printf("interrupted after %d/%d rounds\n", ran, *rounds)
+				break
+			}
 			res := scenario.RunRandom(*base+uint64(i), opts)
 			fmt.Println(res.String())
+			ran++
 			if res.Failed {
 				failed++
 			}
 		}
 		if failed > 0 {
-			fmt.Printf("%d/%d random scenarios failed\n", failed, *rounds)
+			fmt.Printf("%d/%d random scenarios failed\n", failed, ran)
 			os.Exit(1)
 		}
-		fmt.Printf("all %d random scenarios passed\n", *rounds)
+		fmt.Printf("all %d random scenarios passed\n", ran)
 
 	default:
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		failed := 0
 		for _, sc := range scenario.Library() {
+			if interrupted(sig) {
+				fmt.Println("interrupted")
+				break
+			}
 			res := scenario.Run(sc, opts)
 			fmt.Println(res.String())
 			if res.Failed {

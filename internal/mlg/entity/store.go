@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"repro/internal/mlg/mrand"
 	"repro/internal/mlg/world"
 )
 
@@ -94,8 +95,13 @@ type World struct {
 	// wc caches chunk pointers for the entity world's block reads (physics
 	// probes, walkability checks), skipping the world lock on same-chunk
 	// access. Single-goroutine, like the rest of the store.
-	wc  world.ChunkCache
+	wc world.ChunkCache
+	// rng draws from src, a serializable splitmix64 source whose one-word
+	// state persists in world snapshots (persist.go): a restored store
+	// continues the exact spawn-velocity/natural-spawn sequence of the
+	// saved run.
 	rng *rand.Rand
+	src *mrand.Source
 	cfg Config
 	// seed is the world seed the per-region decision streams derive from
 	// (world.RegionSeed; see rng.go). The store rng above is seeded from the
@@ -167,10 +173,12 @@ type World struct {
 // deterministically, and registers the terrain-version listener used for
 // path invalidation.
 func NewWorld(w *world.World, cfg Config, seed int64) *World {
+	src := mrand.NewSource(seed)
 	ew := &World{
 		w:            w,
 		wc:           world.NewChunkCache(w),
-		rng:          rand.New(rand.NewSource(seed)),
+		rng:          rand.New(src),
+		src:          src,
 		cfg:          cfg,
 		seed:         seed,
 		byID:         make(map[int64]*Entity),

@@ -1,0 +1,145 @@
+package persist
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Byte-level codec helpers shared by every section codec (world, sim,
+// entity, server). All integers are fixed-width big-endian; floats are
+// IEEE-754 bit patterns, so NaN payloads and signed zeros round-trip
+// exactly; byte strings are u32-length-prefixed.
+
+// AppendU8 appends one byte.
+func AppendU8(dst []byte, v byte) []byte { return append(dst, v) }
+
+// AppendU32 appends a big-endian uint32.
+func AppendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+
+// AppendU64 appends a big-endian uint64.
+func AppendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
+
+// AppendI64 appends a big-endian int64 (two's complement).
+func AppendI64(dst []byte, v int64) []byte { return binary.BigEndian.AppendUint64(dst, uint64(v)) }
+
+// AppendI32 appends a big-endian int32 (two's complement).
+func AppendI32(dst []byte, v int32) []byte { return binary.BigEndian.AppendUint32(dst, uint32(v)) }
+
+// AppendF64 appends a float64's IEEE-754 bit pattern.
+func AppendF64(dst []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendBytes appends a u32 length prefix followed by the bytes.
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = AppendU32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends a u32-length-prefixed UTF-8 string.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// Dec is a decoding cursor over a byte slice with a sticky error: reads
+// past the end (or after Fail) return zero values and set ErrTruncated, so
+// a section decoder can read a whole record unconditionally and check Err
+// once. Byte-slice reads alias the input; callers that retain them must
+// copy.
+type Dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDec returns a cursor over b.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// take returns the next n bytes, or nil after setting the sticky error.
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.b)-d.off < n {
+		d.err = ErrTruncated
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a big-endian uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads a big-endian int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// I32 reads a big-endian int32.
+func (d *Dec) I32() int32 { return int32(d.U32()) }
+
+// F64 reads a float64 bit pattern.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bytes reads a u32-length-prefixed byte slice (aliasing the input).
+func (d *Dec) Bytes() []byte {
+	n := d.U32()
+	return d.take(int(n))
+}
+
+// String reads a u32-length-prefixed string.
+func (d *Dec) String() string { return string(d.Bytes()) }
+
+// Count reads a u32 element count and validates it against the bytes
+// remaining, given a minimum encoded size per element — a corrupted count
+// must not drive a pre-allocation or loop far past the actual payload.
+func (d *Dec) Count(minElemSize int) int {
+	n := int(d.U32())
+	if d.err == nil && minElemSize > 0 && n > d.Remaining()/minElemSize {
+		d.err = ErrTruncated
+		return 0
+	}
+	return n
+}
+
+// Raw reads exactly n unprefixed bytes (aliasing the input) — for records
+// whose size is fixed by an external codec, like entity wire snapshots.
+func (d *Dec) Raw(n int) []byte { return d.take(n) }
+
+// Remaining returns the number of unread bytes.
+func (d *Dec) Remaining() int { return len(d.b) - d.off }
+
+// Fail records a custom decode error (first error wins).
+func (d *Dec) Fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Err returns the sticky error, if any.
+func (d *Dec) Err() error { return d.err }

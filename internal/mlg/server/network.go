@@ -58,12 +58,22 @@ func (s *Server) Run() {
 			return
 		default:
 		}
-		s.Tick()
+		rec := s.Tick()
+		if h := s.afterTick; h != nil {
+			h(rec)
+		}
 		if crashed, reason := s.Crashed(); crashed {
 			log.Printf("server crashed: %s", reason)
 			return
 		}
 	}
+}
+
+// OnAfterTick registers a hook run on the tick goroutine after every Run
+// iteration, between ticks — where periodic work that must see a quiescent
+// server (the snapshotter) belongs. Set it before calling Run; nil clears.
+func (s *Server) OnAfterTick(fn func(rec TickRecord)) {
+	s.afterTick = fn
 }
 
 // Stop terminates Run and Serve and disconnects all players.

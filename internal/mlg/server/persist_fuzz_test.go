@@ -1,0 +1,90 @@
+package server_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/mlg/persist"
+	"repro/internal/workload"
+)
+
+// FuzzWorldSnapshot round-trips the full save codec under fuzzed run
+// parameters: build a workload server, run it a fuzzed number of ticks,
+// snapshot, decode, restore into a blank server, re-encode — the bytes
+// must match exactly (the codec is canonical), and one replayed tick must
+// match the donor's.
+func FuzzWorldSnapshot(f *testing.F) {
+	f.Add(uint8(0), uint8(10), uint8(1))
+	f.Add(uint8(1), uint8(20), uint8(2))
+	f.Add(uint8(2), uint8(15), uint8(4))
+	f.Fuzz(func(t *testing.T, kindB, ticksB, workersB uint8) {
+		kinds := []workload.Kind{workload.Control, workload.Farm, workload.TNT}
+		k := kinds[int(kindB)%len(kinds)]
+		ticks := int(ticksB)%24 + 1
+		workers := []int{1, 2, 4}[int(workersB)%3]
+
+		ref := newPersistRef(k, workers, 4)
+		for i := 0; i < ticks; i++ {
+			ref.Tick()
+		}
+		data := persist.Encode(ref.EncodeSnapshot(nil))
+		snap, err := persist.Decode(data)
+		if err != nil {
+			t.Fatalf("decode of fresh snapshot: %v", err)
+		}
+		tw := newPersistBlank(k, workers)
+		if err := tw.RestoreSnapshot(&persist.Resolved{Tick: snap.Tick, Full: snap}); err != nil {
+			t.Fatalf("restore of fresh snapshot: %v", err)
+		}
+		if got := persist.Encode(tw.EncodeSnapshot(nil)); !bytes.Equal(got, data) {
+			t.Fatalf("round trip not canonical: %d vs %d bytes", len(got), len(data))
+		}
+		refRec, twRec := ref.Tick(), tw.Tick()
+		if refRec.Sim != twRec.Sim || refRec.Ent != twRec.Ent {
+			t.Fatalf("first replayed tick diverged:\nref:      %+v %+v\nrestored: %+v %+v",
+				refRec.Sim, refRec.Ent, twRec.Sim, twRec.Ent)
+		}
+	})
+}
+
+// FuzzWorldSnapshotCorrupt feeds arbitrary bytes to the decode+restore
+// path: any input must either restore or fail with a typed error wrapping
+// persist.ErrCorrupt — never panic, and never silently half-restore (an
+// error from RestoreSnapshot before the world section decodes leaves the
+// blank server untouched; later failures are surfaced, which is what lets
+// the store fall back to an older file).
+func FuzzWorldSnapshotCorrupt(f *testing.F) {
+	donor := newPersistRef(workload.Farm, 1, 4)
+	for i := 0; i < 8; i++ {
+		donor.Tick()
+	}
+	valid := persist.Encode(donor.EncodeSnapshot(nil))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("MLGP"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := persist.Decode(data)
+		if err != nil {
+			if !errors.Is(err, persist.ErrCorrupt) {
+				t.Fatalf("decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		tw := newPersistBlank(workload.Farm, 1)
+		res := &persist.Resolved{Tick: snap.Tick, Full: snap}
+		if err := tw.RestoreSnapshot(res); err != nil {
+			if !errors.Is(err, persist.ErrCorrupt) {
+				t.Fatalf("restore error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		// A restorable input must keep ticking without panicking.
+		tw.Tick()
+	})
+}

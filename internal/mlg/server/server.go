@@ -177,6 +177,10 @@ type Server struct {
 	// decisions (see OnEntityDelivery). Tick goroutine only.
 	deliverHook func(playerID int64, chunk world.ChunkPos)
 
+	// afterTick, when non-nil, runs on the tick goroutine after each Run
+	// iteration — the snapshotter's cadence point (see OnAfterTick).
+	afterTick func(rec TickRecord)
+
 	// blockChanges collects this tick's terrain state updates for
 	// dissemination. The count (blockChangeCount) is always maintained for
 	// the accounting path; the materialized packets are buffered only while

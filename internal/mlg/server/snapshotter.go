@@ -1,0 +1,177 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/mlg/persist"
+)
+
+// SnapshotterConfig tunes the periodic snapshotter.
+type SnapshotterConfig struct {
+	// Every is the snapshot cadence in ticks (<= 0 disables MaybeSnapshot).
+	Every int
+	// FullEvery makes every Nth snapshot a full one; the ones between are
+	// incrementals against the last full on disk. <= 1 means every
+	// snapshot is full.
+	FullEvery int
+	// Sync writes on the calling (tick) goroutine instead of the
+	// background writer — deterministic tests and final-flush paths.
+	Sync bool
+	// Retries is how many times an IO-failed write is retried (default 3),
+	// sleeping RetryBackoff (default 50ms, doubling) between attempts.
+	Retries      int
+	RetryBackoff time.Duration
+}
+
+type snapshotJob struct {
+	snap *persist.Snapshot
+	base *SnapshotBase // non-nil when the job is a full: install on success
+}
+
+// Snapshotter periodically captures server snapshots and persists them
+// through a Store. Encoding always happens on the tick goroutine (between
+// ticks, via MaybeSnapshot); in the default async mode the encoded bytes
+// are handed to a background writer so disk latency never extends a tick,
+// and a snapshot whose writer is still busy is skipped, not queued — the
+// next cadence point takes a fresh one instead.
+type Snapshotter struct {
+	s   *Server
+	st  *persist.Store
+	cfg SnapshotterConfig
+
+	jobs chan snapshotJob
+	wg   sync.WaitGroup
+
+	mu sync.Mutex
+	// base is the identity of the last full snapshot known to be on disk;
+	// incrementals are computed against it. Guarded by mu: the background
+	// writer installs it on write success while the tick goroutine reads it.
+	base      *SnapshotBase
+	sinceFull int
+	err       error // last write failure (after retries)
+	written   int
+	skipped   int
+}
+
+// NewSnapshotter creates a snapshotter for s writing into st.
+func NewSnapshotter(s *Server, st *persist.Store, cfg SnapshotterConfig) *Snapshotter {
+	if cfg.Retries <= 0 {
+		cfg.Retries = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	sn := &Snapshotter{s: s, st: st, cfg: cfg}
+	if !cfg.Sync {
+		sn.jobs = make(chan snapshotJob, 1)
+		sn.wg.Add(1)
+		go sn.writer()
+	}
+	return sn
+}
+
+// MaybeSnapshot takes a snapshot if the tick hits the cadence. Must be
+// called between ticks on the tick goroutine (the server's after-tick hook
+// is the natural place).
+func (sn *Snapshotter) MaybeSnapshot(tick int64) {
+	if sn.cfg.Every <= 0 || tick%int64(sn.cfg.Every) != 0 {
+		return
+	}
+	sn.Snapshot()
+}
+
+// Snapshot captures and persists one snapshot now (full or incremental per
+// the FullEvery schedule). Must be called between ticks on the tick
+// goroutine.
+func (sn *Snapshotter) Snapshot() {
+	sn.mu.Lock()
+	base := sn.base
+	full := base == nil || sn.cfg.FullEvery <= 1 || sn.sinceFull >= sn.cfg.FullEvery-1
+	sn.mu.Unlock()
+	var job snapshotJob
+	if full {
+		job.snap = sn.s.EncodeSnapshot(nil)
+		job.base = &SnapshotBase{Tick: job.snap.Tick, Revs: sn.s.World().ChunkRevisions()}
+	} else {
+		job.snap = sn.s.EncodeSnapshot(base)
+	}
+	if sn.cfg.Sync {
+		sn.runJob(job)
+		return
+	}
+	select {
+	case sn.jobs <- job:
+	default:
+		// Writer still busy with the previous snapshot: drop this one.
+		sn.mu.Lock()
+		sn.skipped++
+		sn.mu.Unlock()
+		if full {
+			// The staged base never hit the disk; stay on the old one.
+			return
+		}
+	}
+}
+
+func (sn *Snapshotter) writer() {
+	defer sn.wg.Done()
+	for job := range sn.jobs {
+		sn.runJob(job)
+	}
+}
+
+// runJob writes one snapshot with retry/backoff; on success of a full it
+// installs the new incremental base and resets the full cadence.
+func (sn *Snapshotter) runJob(job snapshotJob) {
+	var err error
+	backoff := sn.cfg.RetryBackoff
+	for attempt := 0; attempt < sn.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if _, err = sn.st.Write(job.snap); err == nil {
+			break
+		}
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if err != nil {
+		sn.err = err
+		return
+	}
+	sn.written++
+	if job.base != nil {
+		sn.base = job.base
+		sn.sinceFull = 0
+	} else {
+		sn.sinceFull++
+	}
+}
+
+// Err returns the last write failure that survived all retries, if any.
+func (sn *Snapshotter) Err() error {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.err
+}
+
+// Stats returns how many snapshots were written and how many were skipped
+// because the writer was busy.
+func (sn *Snapshotter) Stats() (written, skipped int) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.written, sn.skipped
+}
+
+// Close stops the background writer after draining any queued job. It does
+// not take a final snapshot — callers that want one (graceful shutdown)
+// call Snapshot first, once ticking has stopped.
+func (sn *Snapshotter) Close() {
+	if sn.jobs != nil {
+		close(sn.jobs)
+		sn.wg.Wait()
+		sn.jobs = nil
+	}
+}

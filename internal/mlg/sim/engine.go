@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/mlg/mrand"
 	"repro/internal/mlg/world"
 )
 
@@ -141,7 +142,11 @@ type Engine struct {
 	// access skips the world lock and chunk-map hash.
 	wc   world.ChunkCache
 	ents EntityOps
+	// rng draws from src, a serializable splitmix64 source: its one-word
+	// state moves in and out of world snapshots (persist.go), so a restored
+	// engine continues the exact random-tick/drop sequence of the saved run.
 	rng  *rand.Rand
+	src  *mrand.Source
 	cfg  Config
 	seed int64
 	// workers is the resolved SimWorkers value (0 → GOMAXPROCS at creation).
@@ -286,11 +291,13 @@ func (x *exec) spawnMob(p world.Pos) {
 // New creates an engine bound to the world and entity store, seeded
 // deterministically, and registers its change listener on the world.
 func New(w *world.World, ents EntityOps, cfg Config, seed int64) *Engine {
+	src := mrand.NewSource(seed)
 	e := &Engine{
 		w:         w,
 		wc:        world.NewChunkCache(w),
 		ents:      ents,
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       rand.New(src),
+		src:       src,
 		cfg:       cfg,
 		seed:      seed,
 		scheduled: make(map[int64][]scheduledUpdate),

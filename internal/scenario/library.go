@@ -22,6 +22,8 @@ func Library() []*Scenario {
 		TeleportStormScenario(),
 		ChurnDuringParallelDrain(),
 		ReconfigureMidRun(),
+		CrashMidCascade(),
+		TornSnapshotFallback(),
 	}
 }
 
@@ -200,6 +202,62 @@ func ChurnDuringParallelDrain() *Scenario {
 				}
 			}
 			return ""
+		},
+	}
+}
+
+// CrashMidCascade power-cuts the non-reference twins in the middle of a TNT
+// cascade — live fuses, blast waves and item storms in flight — and restarts
+// them from their per-tick snapshots. The restored twins must stay in
+// lockstep with the reference twin that never died, through the rest of the
+// cascade and fresh player/mob activity layered on top.
+func CrashMidCascade() *Scenario {
+	return &Scenario{
+		Name:          "crash-mid-cascade",
+		Workload:      workload.Control,
+		Flavor:        server.Paper,
+		Seed:          71,
+		Warmup:        5,
+		SnapshotEvery: 1,
+		Steps: []Step{
+			JoinWave(2, 3),
+			// Fuse 3 with 4 step ticks: the crash lands with craters half
+			// carved and TNT entities mid-air.
+			TNTBurst(6, 6, 2, 3, 4),
+			Crash(CrashClean, 6),
+			MobWave(0x5AFE, 4, 10, 4),
+			Chase(0, 3, 2, 6),
+			Crash(CrashClean, 4),
+			Quiet(6),
+		},
+	}
+}
+
+// TornSnapshotFallback crashes twins with every corruption mode in turn:
+// torn tail, in-flight fault injection, and a flipped bit. Each restart must
+// detect the damaged newest snapshot by checksum, fall back to the previous
+// good one, and re-converge with the reference by replaying the gap — which
+// is why every corrupting crash sits behind a Quiet step (the replayed tick
+// must have had no client inputs).
+func TornSnapshotFallback() *Scenario {
+	return &Scenario{
+		Name:          "torn-snapshot-fallback",
+		Workload:      workload.Farm,
+		Scale:         2,
+		Flavor:        server.Vanilla,
+		Seed:          73,
+		Warmup:        8,
+		SnapshotEvery: 1,
+		Steps: []Step{
+			JoinWave(2, 3),
+			DigStorm(0xFA11, 4, 8, 2),
+			Quiet(4),
+			Crash(CrashTruncateLatest, 5),
+			Quiet(3),
+			Crash(CrashMidSnapshot, 5),
+			Quiet(2),
+			Crash(CrashBitFlipLatest, 4),
+			Quiet(4),
 		},
 	}
 }

@@ -69,7 +69,7 @@ func Generate(seed uint64) *Scenario {
 		if i == 0 {
 			st = JoinWave(r.pick(1, 4), ticks)
 		} else {
-			switch r.intn(9) {
+			switch r.intn(10) {
 			case 0:
 				st = JoinWave(r.pick(1, 3), ticks)
 			case 1:
@@ -88,6 +88,13 @@ func Generate(seed uint64) *Scenario {
 				st = MobWave(r.next(), r.pick(1, 6), r.pick(4, 24), ticks)
 			case 8:
 				st = Reconfigure(r.pick(1, 2), ticks)
+			case 9:
+				// Clean crash-restart from the per-tick snapshot: safe at any
+				// point in a random script (no replay gap). Corruption modes
+				// need input-free gap ticks, which a random script cannot
+				// guarantee, so only the curated library exercises them.
+				st = Crash(CrashClean, ticks)
+				sc.SnapshotEvery = 1
 			}
 		}
 		sc.Steps = append(sc.Steps, st)

@@ -2,10 +2,12 @@ package scenario
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/env"
 	"repro/internal/metrics"
+	"repro/internal/mlg/persist"
 	"repro/internal/mlg/server"
 	"repro/internal/mlg/world"
 	"repro/internal/workload"
@@ -85,18 +87,44 @@ func Run(sc *Scenario, opts Options) *Result {
 		profile = env.DAS5SixteenCore
 	}
 
-	twins := make([]*Twin, len(workers))
-	for i, n := range workers {
-		tw := &Twin{Index: i, Workers: n, allWorkers: workers,
-			prevChunks: map[world.ChunkPos]world.ChunkState{}}
+	// mkServer builds one bare twin server — also how a Crash step stands up
+	// the replacement process image before restoring its snapshot.
+	mkServer := func(n int) (*server.Server, env.Clock) {
 		w := workload.NewWorld(sc.Workload, world.PaperControlSeed)
 		cfg := server.DefaultConfig(sc.Flavor)
 		cfg.Seed = sc.Seed
 		cfg.SimWorkers = n
 		cfg.ClientTimeout = sc.ClientTimeout
 		clock := env.NewVirtualClock(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC))
-		tw.Clock = clock
-		tw.S = server.New(w, cfg, env.NewMachine(profile, opts.MachineSeed), clock)
+		return server.New(w, cfg, env.NewMachine(profile, opts.MachineSeed), clock), clock
+	}
+
+	twins := make([]*Twin, len(workers))
+	for i, n := range workers {
+		tw := &Twin{Index: i, Workers: n, allWorkers: workers,
+			prevChunks: map[world.ChunkPos]world.ChunkState{}}
+		tw.S, tw.Clock = mkServer(n)
+		tw.rebuild = mkServer
+		if sc.SnapshotEvery > 0 {
+			dir, err := os.MkdirTemp("", "scenario-snap-")
+			if err != nil {
+				res.Failed = true
+				res.Detail = fmt.Sprintf("snapshot dir: %v", err)
+				return res
+			}
+			defer os.RemoveAll(dir)
+			st, err := persist.NewStore(dir)
+			if err != nil {
+				res.Failed = true
+				res.Detail = fmt.Sprintf("snapshot store: %v", err)
+				return res
+			}
+			tw.store = st
+			// Sync: snapshots land on the tick boundary they were taken at,
+			// so a Crash step knows exactly which ticks are on disk.
+			tw.snapCfg = server.SnapshotterConfig{Every: sc.SnapshotEvery, Sync: true}
+			tw.snap = server.NewSnapshotter(tw.S, st, tw.snapCfg)
+		}
 
 		spec := sc.Workload.DefaultSpec()
 		if sc.Scale > 0 {
@@ -141,6 +169,14 @@ func Run(sc *Scenario, opts Options) *Result {
 				recs[i] = tw.S.Tick()
 				tw.Records = append(tw.Records, recs[i])
 				tw.StepOfTick = append(tw.StepOfTick, step)
+				if tw.snap != nil {
+					tw.snap.MaybeSnapshot(recs[i].Tick)
+					if err := tw.snap.Err(); err != nil {
+						res.Failed = true
+						res.Detail = fmt.Sprintf("twin[%d] (workers=%d) snapshot write: %v", i, tw.Workers, err)
+						return false
+					}
+				}
 			}
 			tick++
 			res.Tick, res.Ticks = tick, tick
@@ -209,12 +245,17 @@ func Run(sc *Scenario, opts Options) *Result {
 	for si := range sc.Steps {
 		st := &sc.Steps[si]
 		res.Step, res.StepName = si, st.Name
-		for _, tw := range twins {
+		for i, tw := range twins {
 			if opts.Fault != nil {
 				opts.Fault(si, tw)
 			}
 			if st.Before != nil {
 				st.Before(tw)
+			}
+			if tw.fail != "" {
+				res.Failed = true
+				res.Detail = fmt.Sprintf("twin[%d] (workers=%d) %s", i, tw.Workers, tw.fail)
+				return res
 			}
 		}
 		if !runTicks(si, st, st.Ticks) || !checkState() {

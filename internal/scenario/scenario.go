@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/env"
 	"repro/internal/mlg/entity"
+	"repro/internal/mlg/persist"
 	"repro/internal/mlg/server"
 	"repro/internal/mlg/world"
 	"repro/internal/protocol"
@@ -57,6 +58,11 @@ type Scenario struct {
 	IgniteAfterTicks int
 	// ClientTimeout, when > 0, enables the crash-on-starvation semantics.
 	ClientTimeout time.Duration
+	// SnapshotEvery, when > 0, attaches a persistence store to every twin
+	// and snapshots each one every N ticks (synchronously, into a per-twin
+	// temp directory). Required by Crash steps; SnapshotEvery=1 guarantees a
+	// clean crash restores onto the exact crash tick with no replay gap.
+	SnapshotEvery int
 	Steps         []Step
 	// MaxTickDur bounds every tick's busy duration (0 = 5s: a runaway
 	// guard). MaxISR bounds the end-of-run Instability Ratio (0 = 0.9).
@@ -119,6 +125,15 @@ type Twin struct {
 	joined     int     // total joins so far (names stay unique)
 	deliveries []delivery
 	prevChunks map[world.ChunkPos]world.ChunkState
+
+	// Persistence plumbing, wired when Scenario.SnapshotEvery > 0: the
+	// twin's snapshot directory, its snapshotter, and the constructor Crash
+	// steps use to stand up the replacement server after a simulated crash.
+	store   *persist.Store
+	snap    *server.Snapshotter
+	snapCfg server.SnapshotterConfig
+	rebuild func(workers int) (*server.Server, env.Clock)
+	fail    string // set by a step that failed inside Before (e.g. Crash)
 }
 
 // Players returns the live scenario-connected player IDs in join order.

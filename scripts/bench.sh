@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the tick + network benchmarks and record the perf
-# trajectory into a JSON file (default BENCH_6.json): one entry per
+# trajectory into a JSON file (default BENCH_8.json): one entry per
 # benchmark with name, ns/op, allocs/op and cpus. Two passes:
 #
 #   1. the full pinned set at -cpu 1 (GOMAXPROCS=1) — the serial per-
@@ -16,7 +16,8 @@
 # time-sliced (no real scaling, and that is what gets recorded); real
 # speedups only appear on runners with that many cores.
 #
-# BENCH_6.json is the committed baseline the CI perf gate diffs fresh runs
+# BENCH_8.json extends the committed baselines the CI perf gate diffs fresh
+# runs
 # against: scripts/bench_compare.sh keys entries on (name, cpus) and fails
 # the build on >25% calibrated ns/op or any allocs/op regression in the
 # pinned set (see its header for the exact rules — cpus>1 entries are
@@ -26,7 +27,7 @@
 # reports ~99 allocs/op at 20x vs ~640 at 1x), so a 1s-recorded baseline
 # makes the 1x alloc gate fail spuriously.
 #
-#   BENCHTIME=1x scripts/bench.sh BENCH_6.json   # re-record the gate baseline
+#   BENCHTIME=1x scripts/bench.sh BENCH_8.json   # re-record the gate baseline
 #
 # Usage:
 #   scripts/bench.sh [out.json]       # local profiling (1s per benchmark)
@@ -34,10 +35,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_8.json}"
 benchtime="${BENCHTIME:-1s}"
 
-full='BenchmarkTick$|BenchmarkTickParallel$|BenchmarkEntityTickParallel$|BenchmarkSendReal$|BenchmarkSerializeChunk$'
+full='BenchmarkTick$|BenchmarkTickParallel$|BenchmarkEntityTickParallel$|BenchmarkSendReal$|BenchmarkSerializeChunk$|BenchmarkSnapshotSave$|BenchmarkRestore$'
 sweep='BenchmarkTickParallel$|BenchmarkEntityTickParallel$'
 
 raw=$(mktemp)

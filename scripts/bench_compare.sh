@@ -4,9 +4,9 @@
 #
 #   scripts/bench_compare.sh fresh.json [baseline.json ...]
 #
-# Baselines default to BENCH_4.json BENCH_5.json BENCH_6.json; when several
-# baselines pin the same benchmark, the later file wins (BENCH_6 supersedes
-# BENCH_5 supersedes BENCH_4). Entries are keyed on (name, cpus) — cpus
+# Baselines default to BENCH_4.json BENCH_5.json BENCH_6.json BENCH_8.json;
+# when several baselines pin the same benchmark, the later file wins
+# (BENCH_8 supersedes BENCH_6 supersedes BENCH_5 supersedes BENCH_4). Entries are keyed on (name, cpus) — cpus
 # defaults to 1 for baselines recorded before the multicore sweep existed —
 # so a cpus:1 measurement is only ever compared against a cpus:1 baseline,
 # never against a sweep entry of the same benchmark. The pinned set is
@@ -40,7 +40,7 @@ fresh="${1:?usage: scripts/bench_compare.sh fresh.json [baseline.json ...]}"
 shift || true
 baselines=("$@")
 if [ "${#baselines[@]}" -eq 0 ]; then
-  baselines=(BENCH_4.json BENCH_5.json BENCH_6.json)
+  baselines=(BENCH_4.json BENCH_5.json BENCH_6.json BENCH_8.json)
 fi
 
 out=$(jq -s -r '
