@@ -1,15 +1,22 @@
-// Command botswarm runs Yardstick-style player emulation against a live MLG
-// server over TCP: it connects a swarm of bots that walk randomly in a
-// bounded area and probe game response time with self-addressed chat
-// messages, then reports the response-time distribution.
+// Command botswarm runs Yardstick-style player emulation over real TCP: it
+// ramps a swarm of emulated players onto an MLG server, optionally injects
+// peer faults — readers that stall mid-run, readers that drain slowly,
+// connection churn — and reports the chat-probe response-time distribution.
+// With -selfserve it hosts the server in-process on a loopback listener and
+// additionally reports the server's tick tail (p99, ISR) and outbound fault
+// counters (dropped batches, keyframes, write/idle disconnects).
 //
 // Usage:
 //
-//	botswarm [-addr 127.0.0.1:25565] [-bots 25] [-behavior bounded-random]
-//	         [-duration 60s] [-probe 1s] [-area 32]
+//	botswarm [-addr 127.0.0.1:25565 | -selfserve] [-bots 25]
+//	         [-behavior bounded-random] [-duration 60s] [-probe 1s]
+//	         [-area 32] [-ramp-chunk 25] [-ramp-every 100ms] [-settle 1s]
+//	         [-stall N] [-stall-after 1s] [-slow N] [-read-delay 20ms]
+//	         [-churn-every 0] [-mobs 0] [-read-buffer 0] [-seed 1] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -17,19 +24,31 @@ import (
 	"time"
 
 	"repro/internal/bot"
-	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/swarm"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:25565", "server address")
-		bots     = flag.Int("bots", 25, "number of emulated players")
-		behavior = flag.String("behavior", "bounded-random", "idle or bounded-random")
-		duration = flag.Duration("duration", 60*time.Second, "emulation length")
-		probe    = flag.Duration("probe", time.Second, "chat-probe interval")
-		area     = flag.Float64("area", 32, "random-walk square side in blocks")
-		seed     = flag.Int64("seed", 1, "behaviour seed")
+		addr      = flag.String("addr", "127.0.0.1:25565", "server address")
+		selfserve = flag.Bool("selfserve", false, "host the server in-process on a loopback listener (ignores -addr)")
+		bots      = flag.Int("bots", 25, "number of emulated players")
+		behavior  = flag.String("behavior", "bounded-random", "idle or bounded-random")
+		duration  = flag.Duration("duration", 60*time.Second, "measured window after ramp + settle")
+		probe     = flag.Duration("probe", time.Second, "chat-probe interval (0 disables)")
+		area      = flag.Float64("area", 32, "random-walk square side in blocks")
+		rampChunk = flag.Int("ramp-chunk", 25, "bots connected per ramp step")
+		rampEvery = flag.Duration("ramp-every", 100*time.Millisecond, "pause between ramp steps")
+		settle    = flag.Duration("settle", time.Second, "wait after ramp before the measured window")
+		stall     = flag.Int("stall", 0, "bots that stop reading mid-run (dead-peer fault)")
+		stallAt   = flag.Duration("stall-after", time.Second, "when stalled readers pause, into the window")
+		slow      = flag.Int("slow", 0, "bots throttled to one read per -read-delay")
+		readDelay = flag.Duration("read-delay", 20*time.Millisecond, "slow-reader read interval")
+		churn     = flag.Duration("churn-every", 0, "reconnect one bot this often (0 disables)")
+		mobs      = flag.Int("mobs", 0, "mob herd spawned before the run (selfserve only)")
+		readBuf   = flag.Int("read-buffer", 0, "bot TCP receive buffer bytes (0 keeps OS default)")
+		seed      = flag.Int64("seed", 1, "behaviour seed")
+		jsonOut   = flag.Bool("json", false, "emit the full result as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -38,39 +57,63 @@ func main() {
 		beh = bot.Idle
 	}
 
-	var clients []*bot.Client
-	for i := 0; i < *bots; i++ {
-		c, err := bot.Connect(*addr, bot.Config{
-			Name:     fmt.Sprintf("bot-%02d", i),
-			Behavior: beh,
-			AreaSide: *area, BaseY: 30,
-			ProbeEvery: *probe,
-			Seed:       *seed + int64(i)*7919,
-		})
-		if err != nil {
-			log.Fatalf("bot %d: %v", i, err)
-		}
-		defer c.Close()
-		clients = append(clients, c)
-		time.Sleep(100 * time.Millisecond) // ramp up, as Yardstick does
+	cfg := swarm.Config{
+		Addr:         *addr,
+		Bots:         *bots,
+		Behavior:     beh,
+		ProbeEvery:   *probe,
+		Area:         *area,
+		RampChunk:    *rampChunk,
+		RampEvery:    *rampEvery,
+		Settle:       *settle,
+		Duration:     *duration,
+		StallReaders: *stall,
+		StallAfter:   *stallAt,
+		SlowReaders:  *slow,
+		ReadDelay:    *readDelay,
+		ChurnEvery:   *churn,
+		Mobs:         *mobs,
+		ReadBuffer:   *readBuf,
+		Seed:         *seed,
 	}
-	log.Printf("%d bots connected to %s; running %v", len(clients), *addr, *duration)
-	time.Sleep(*duration)
+	if *selfserve {
+		cfg.Addr = ""
+	}
 
-	var rtts []float64
-	for _, c := range clients {
-		for _, p := range c.Probes() {
-			rtts = append(rtts, float64(p.RTT)/float64(time.Millisecond))
+	log.Printf("swarm: %d bots, %v window (stall=%d slow=%d churn=%v)",
+		cfg.Bots, cfg.Duration, cfg.StallReaders, cfg.SlowReaders, cfg.ChurnEvery)
+	res, err := swarm.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
 		}
+		return
 	}
-	if len(rtts) == 0 {
-		log.Print("no probes completed")
-		os.Exit(1)
+
+	fmt.Printf("connected %d/%d bots, %d dropped, elapsed %v\n",
+		res.Connected, res.Bots, res.Dropped, res.Elapsed.Round(time.Millisecond))
+	if res.Probes == 0 {
+		fmt.Println("no probes completed")
+	} else {
+		s := res.RTTMS
+		fmt.Printf("response time over %d probes [ms]:\n", s.N)
+		fmt.Printf("  p5=%s p25=%s median=%s p75=%s p95=%s mean=%s max=%s\n",
+			report.F(s.P5), report.F(s.P25), report.F(s.Median), report.F(s.P75),
+			report.F(s.P95), report.F(s.Mean), report.F(s.Max))
+		fmt.Println(report.BoxRow("swarm RTT", s, s.P95*1.2, 60))
 	}
-	s := metrics.Summarize(rtts)
-	fmt.Printf("response time over %d probes [ms]:\n", s.N)
-	fmt.Printf("  p5=%s p25=%s median=%s p75=%s p95=%s mean=%s max=%s\n",
-		report.F(s.P5), report.F(s.P25), report.F(s.Median), report.F(s.P75),
-		report.F(s.P95), report.F(s.Mean), report.F(s.Max))
-	fmt.Println(report.BoxRow("swarm RTT", s, s.P95*1.2, 60))
+	if res.Ticks > 0 { // self-hosted: the server-side view exists too
+		fmt.Printf("server: %d ticks, median=%sms p95=%sms p99=%sms isr=%.4f, %d players at end\n",
+			res.Ticks, report.F(res.TickMS.Median), report.F(res.TickMS.P95),
+			report.F(res.P99TickMS), res.ISR, res.FinalPlayers)
+		fmt.Printf("outbound: dropped=%d keyframes=%d write-disconnects=%d idle-disconnects=%d\n",
+			res.Outbound.DroppedBatches, res.Outbound.Keyframes,
+			res.Outbound.WriteDisconnects, res.Outbound.IdleDisconnects)
+	}
 }

@@ -55,6 +55,11 @@ type Config struct {
 	ProbeEvery time.Duration
 	// Seed makes the bot's movement deterministic.
 	Seed int64
+	// ReadBuffer, when > 0, shrinks the TCP receive buffer of a real
+	// connection (bot.Connect) so paused or slow readers exert backpressure
+	// on the server within a test-sized window instead of hiding behind
+	// kernel buffering. Zero keeps the OS default.
+	ReadBuffer int
 }
 
 // Probe is one completed response-time measurement.

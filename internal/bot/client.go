@@ -2,7 +2,9 @@ package bot
 
 import (
 	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/protocol"
@@ -14,6 +16,13 @@ type Client struct {
 	bot  *Bot
 	conn *protocol.Conn
 
+	// paused stops the read loop from draining the socket — a frozen client
+	// whose kernel receive buffer fills, the peer-fault case the server's
+	// async writers must survive. readDelay (nanoseconds) throttles a slow
+	// reader instead of stopping it.
+	paused    atomic.Bool
+	readDelay atomic.Int64
+
 	mu     sync.Mutex
 	probes []Probe
 	done   chan struct{}
@@ -23,10 +32,16 @@ type Client struct {
 // Connect dials the server, performs the handshake and login, and returns a
 // running client. The read loop runs until Close or a connection error.
 func Connect(addr string, cfg Config) (*Client, error) {
-	conn, err := protocol.Dial(addr)
+	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.ReadBuffer > 0 {
+		if tc, ok := raw.(*net.TCPConn); ok {
+			tc.SetReadBuffer(cfg.ReadBuffer)
+		}
+	}
+	conn := protocol.NewConn(raw)
 	if _, err := conn.WritePacket(&protocol.Handshake{Version: protocol.ProtocolVersion}); err != nil {
 		conn.Close()
 		return nil, err
@@ -55,6 +70,20 @@ func Connect(addr string, cfg Config) (*Client, error) {
 // and answering keep-alives.
 func (c *Client) readLoop() {
 	for {
+		for c.paused.Load() {
+			select {
+			case <-c.done:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		if d := c.readDelay.Load(); d > 0 {
+			select {
+			case <-c.done:
+				return
+			case <-time.After(time.Duration(d)):
+			}
+		}
 		pkt, _, err := c.conn.ReadPacket()
 		if err != nil {
 			c.Close()
@@ -97,6 +126,22 @@ func (c *Client) actLoop() {
 		}
 	}
 }
+
+// PauseReads freezes the client's read loop: the socket stops draining, the
+// kernel receive buffer fills, and the server's outbound path for this peer
+// backs up — the stalled-peer fault the swarm benchmark injects.
+func (c *Client) PauseReads() { c.paused.Store(true) }
+
+// ResumeReads restarts a paused read loop.
+func (c *Client) ResumeReads() { c.paused.Store(false) }
+
+// SetReadDelay throttles the read loop to one packet per d — a slow (but not
+// stalled) consumer. Zero removes the throttle.
+func (c *Client) SetReadDelay(d time.Duration) { c.readDelay.Store(int64(d)) }
+
+// Done is closed when the client terminates (Close, server disconnect, or a
+// connection error).
+func (c *Client) Done() <-chan struct{} { return c.done }
 
 // Probes returns the response-time measurements collected so far.
 func (c *Client) Probes() []Probe {

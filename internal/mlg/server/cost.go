@@ -89,6 +89,13 @@ type tickCounts struct {
 	chunksGenerated int
 	chunksSent      int
 	chunksLoaded    int
+
+	// Async outbound-path instrumentation (real connections only; the cost
+	// model ignores these — enqueueing is free by design, the whole point
+	// of the per-connection writers).
+	netDrops       int
+	netKeyframes   int
+	netQueuedBytes int
 }
 
 // Work converts one tick's counts into environment work, applying the

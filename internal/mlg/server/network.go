@@ -1,9 +1,11 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"sort"
 	"time"
 
@@ -18,18 +20,29 @@ import (
 // cmd/mlgserver binary and the real-TCP bot swarm use; benchmark
 // reproduction normally runs the in-process virtual path instead.
 //
-// The outbound side is built around three disciplines:
+// The outbound side is built around four disciplines:
 //
 //   - Encode-once frames: a broadcast packet (block change, chat,
 //     keep-alive, time update, entity move) is marshalled to wire bytes
 //     exactly once (protocol.EncodeFrame) and written to N connections as a
 //     raw byte copy (Conn.WriteFrame).
 //   - Tick-scoped batch flushing: each player's per-tick sends sit between
-//     Conn.BeginBatch and Conn.FlushBatch, so a tick costs one flush
-//     (syscall) per player instead of one per packet.
+//     Conn.BeginBatch and Conn.FlushBatch, so a tick costs one enqueue per
+//     player instead of one syscall per packet.
 //   - Delta streaming: in-view entities send compact EntityMoveRel deltas
 //     against per-player last-sent positions; stationary entities send
 //     nothing, teleports and first sightings fall back to full EntityMove.
+//   - Async per-connection writers: the tick goroutine never touches a
+//     socket. Each logged-in connection runs a writer goroutine behind a
+//     bounded queue (protocol.Conn.StartWriter); the tick enqueues a
+//     player's completed batch and moves on. On queue overflow the batch is
+//     dropped and the player falls back to a keyframe — lastSent is
+//     cleared so every in-view entity re-baselines with a full EntityMove,
+//     and undelivered chunk batches stay owed — mirroring the delta→full
+//     fallback. A peer whose write stalls past Config.WriteTimeout faults
+//     its writer and is disconnected on the next tick, frames reclaimed.
+//     One slow TCP peer therefore costs one blocked goroutine, never a
+//     stalled world.
 
 // Serve accepts connections until the listener closes. It blocks; run it in
 // a goroutine alongside Run.
@@ -42,6 +55,11 @@ func (s *Server) Serve(ln net.Listener) error {
 				return nil
 			default:
 				return err
+			}
+		}
+		if s.cfg.SocketWriteBuffer > 0 {
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetWriteBuffer(s.cfg.SocketWriteBuffer)
 			}
 		}
 		go s.handleConn(protocol.NewConn(c))
@@ -121,9 +139,27 @@ func (s *Server) handleConn(conn *protocol.Conn) {
 		return
 	}
 
+	// Handshake traffic above was synchronous; everything after login rides
+	// the connection's async writer so a slow peer can never block the tick
+	// goroutine (or the keep-alive/chat broadcast loops).
+	conn.StartWriter(protocol.WriterConfig{
+		MaxBatches:   s.cfg.WriteQueueBatches,
+		MaxBytes:     s.cfg.WriteQueueBytes,
+		WriteTimeout: s.cfg.WriteTimeout,
+	})
+
+	idle := s.cfg.ReadIdleTimeout
 	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		pkt, _, err := conn.ReadPacket()
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				// A completely silent peer: without this reap its read
+				// goroutine and player session would leak forever.
+				s.noteIdleDisconnect()
+			}
 			s.Disconnect(p.ID)
 			return
 		}
@@ -132,18 +168,25 @@ func (s *Server) handleConn(conn *protocol.Conn) {
 }
 
 // sendChunkBatch streams a batch of owed chunks over a player's connection,
-// all under one flush.
-func (s *Server) sendChunkBatch(p *Player, batch []world.ChunkPos) {
+// all under one flush. It returns the error that broke the batch:
+// protocol.ErrBacklog means the whole batch was dropped before reaching the
+// wire (the chunks must stay owed); any other error is a connection fault
+// and the peer should be disconnected. The old path discarded both — a
+// player whose batch never hit the socket was still marked as having been
+// sent those chunks, and a broken conn kept receiving full tick work until
+// its reader noticed.
+func (s *Server) sendChunkBatch(p *Player, batch []world.ChunkPos) error {
 	p.conn.BeginBatch()
-	defer p.conn.FlushBatch()
 	for _, cp := range batch {
 		data := s.serializeChunk(cp)
 		if _, err := p.conn.WritePacket(&protocol.ChunkData{
 			ChunkX: cp.X, ChunkZ: cp.Z, Data: data,
 		}); err != nil {
-			return
+			p.conn.FlushBatch() // balance the batch window; the write error wins
+			return err
 		}
 	}
+	return p.conn.FlushBatch()
 }
 
 // chunkPayload is one cached serialized chunk column.
@@ -217,8 +260,9 @@ func (e *entSnap) fullMoveFrame() protocol.Frame {
 // chunk view area are sent) and capped per tick per player, like production
 // servers' broadcast budgets. Broadcast packets are encoded once and fanned
 // out as raw frames; each player's whole tick goes out under a single
-// flush.
-func (s *Server) sendReal(players []*Player, bc []protocol.BlockChange, counts *tickCounts) {
+// flush (async conns: a single writer-queue enqueue). It returns the IDs
+// of players whose connection faulted mid-send, for the caller to reap.
+func (s *Server) sendReal(players []*Player, bc []protocol.BlockChange, counts *tickCounts) []int64 {
 	const entityCap = 400
 	var hasReal bool
 	for _, p := range players {
@@ -228,7 +272,7 @@ func (s *Server) sendReal(players []*Player, bc []protocol.BlockChange, counts *
 		}
 	}
 	if !hasReal {
-		return
+		return nil
 	}
 
 	// Snapshot entity positions (and their chunk, for the interest filter).
@@ -255,80 +299,127 @@ func (s *Server) sendReal(players []*Player, bc []protocol.BlockChange, counts *
 	tickFrame := protocol.EncodeFrame(&protocol.TimeUpdate{Tick: tick})
 	vd := int32(s.cfg.ViewDistance)
 
-	var rel protocol.EntityMoveRel
+	var dead []int64
 	for _, p := range players {
 		if p.conn == nil {
 			continue
 		}
-		p.conn.BeginBatch()
-		for _, f := range bcFrames {
-			if _, err := p.conn.WriteFrame(f); err != nil {
-				break
-			}
+		err := s.sendPlayerTick(p, bcFrames, tickFrame, ents, vd, entityCap, counts)
+		switch {
+		case err == nil:
+		case errors.Is(err, protocol.ErrBacklog):
+			// The peer's writer queue is full: this tick's batch was dropped
+			// whole. Stale deltas must never follow a gap — fall back to a
+			// keyframe once the queue drains again.
+			p.needKeyframe = true
+			counts.netDrops++
+		default:
+			dead = append(dead, p.ID)
 		}
-		pc := world.ChunkPosAt(p.Pos.BlockPos())
-		if p.lastSent == nil {
-			p.lastSent = make(map[int64]qpos, len(ents))
-		}
-		seen := p.seen
-		if seen == nil {
-			seen = make(map[int64]struct{}, len(ents))
-			p.seen = seen
-		} else {
-			clear(seen)
-		}
-		sent := 0
-		for i := range ents {
-			en := &ents[i]
-			if !chunkWithinView(en.chunk, pc, vd) {
-				continue
-			}
-			seen[en.id] = struct{}{}
-			if sent >= entityCap {
-				continue // budget spent; the delta catches up next tick
-			}
-			last, tracked := p.lastSent[en.id]
-			if tracked && en.q == last {
-				continue // stationary: nothing on the wire
-			}
-			dx, dy, dz := en.q.x-last.x, en.q.y-last.y, en.q.z-last.z
-			if tracked && fitsInt8(dx) && fitsInt8(dy) && fitsInt8(dz) {
-				rel = protocol.EntityMoveRel{
-					EntityID: int32(en.id),
-					DX:       int8(dx), DY: int8(dy), DZ: int8(dz),
-				}
-				if _, err := p.conn.WritePacket(&rel); err != nil {
-					break
-				}
-			} else {
-				// First sighting or a jump too large for a delta: full move.
-				if _, err := p.conn.WriteFrame(en.fullMoveFrame()); err != nil {
-					break
-				}
-			}
-			p.lastSent[en.id] = en.q
-			sent++
-		}
-		// Untrack: entities streamed before but no longer in this player's
-		// interest area (moved out of view, or despawned) are destroyed
-		// client-side, in ID order.
-		gone := p.gone[:0]
-		for id := range p.lastSent {
-			if _, ok := seen[id]; !ok {
-				gone = append(gone, id)
-			}
-		}
-		sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
-		for _, id := range gone {
-			delete(p.lastSent, id)
-			if _, err := p.conn.WritePacket(&protocol.DestroyEntity{EntityID: int32(id)}); err != nil {
-				break
-			}
-		}
-		p.gone = gone
-		p.conn.WriteFrame(tickFrame)
-		p.conn.FlushBatch()
 	}
+	return dead
+}
+
+// sendPlayerTick assembles and flushes one player's complete tick batch:
+// shared broadcast frames, interest-filtered entity updates (or a keyframe
+// re-baseline after a dropped batch), destroys for entities leaving the
+// interest area, and the time update. A write error aborts the batch and is
+// returned; on async connections the only errors are flush-boundary ones
+// (ErrBacklog, or the writer's sticky fault).
+func (s *Server) sendPlayerTick(p *Player, bcFrames []protocol.Frame, tickFrame protocol.Frame,
+	ents []entSnap, vd int32, entityCap int, counts *tickCounts) error {
+	keyframe := p.needKeyframe
+	if keyframe {
+		// The client missed at least one dropped batch; deltas against
+		// positions it never received would corrupt its reconstruction.
+		// Dropping the tracked set re-baselines every in-view entity with a
+		// full EntityMove below — the keyframe.
+		clear(p.lastSent)
+	}
+
+	var rel protocol.EntityMoveRel
+	p.conn.BeginBatch()
+	abort := func(err error) error {
+		p.conn.FlushBatch() // balance the batch window; the write error wins
+		return err
+	}
+	for _, f := range bcFrames {
+		if _, err := p.conn.WriteFrame(f); err != nil {
+			return abort(err)
+		}
+	}
+	pc := world.ChunkPosAt(p.Pos.BlockPos())
+	if p.lastSent == nil {
+		p.lastSent = make(map[int64]qpos, len(ents))
+	}
+	seen := p.seen
+	if seen == nil {
+		seen = make(map[int64]struct{}, len(ents))
+		p.seen = seen
+	} else {
+		clear(seen)
+	}
+	sent := 0
+	for i := range ents {
+		en := &ents[i]
+		if !chunkWithinView(en.chunk, pc, vd) {
+			continue
+		}
+		seen[en.id] = struct{}{}
+		if sent >= entityCap {
+			continue // budget spent; the delta catches up next tick
+		}
+		last, tracked := p.lastSent[en.id]
+		if tracked && en.q == last {
+			continue // stationary: nothing on the wire
+		}
+		dx, dy, dz := en.q.x-last.x, en.q.y-last.y, en.q.z-last.z
+		if tracked && fitsInt8(dx) && fitsInt8(dy) && fitsInt8(dz) {
+			rel = protocol.EntityMoveRel{
+				EntityID: int32(en.id),
+				DX:       int8(dx), DY: int8(dy), DZ: int8(dz),
+			}
+			if _, err := p.conn.WritePacket(&rel); err != nil {
+				return abort(err)
+			}
+		} else {
+			// First sighting, a jump too large for a delta, or a keyframe
+			// re-baseline: full move.
+			if _, err := p.conn.WriteFrame(en.fullMoveFrame()); err != nil {
+				return abort(err)
+			}
+		}
+		p.lastSent[en.id] = en.q
+		sent++
+	}
+	// Untrack: entities streamed before but no longer in this player's
+	// interest area (moved out of view, or despawned) are destroyed
+	// client-side, in ID order.
+	gone := p.gone[:0]
+	for id := range p.lastSent {
+		if _, ok := seen[id]; !ok {
+			gone = append(gone, id)
+		}
+	}
+	sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
+	p.gone = gone
+	for _, id := range gone {
+		delete(p.lastSent, id)
+		if _, err := p.conn.WritePacket(&protocol.DestroyEntity{EntityID: int32(id)}); err != nil {
+			return abort(err)
+		}
+	}
+	if _, err := p.conn.WriteFrame(tickFrame); err != nil {
+		return abort(err)
+	}
+	if err := p.conn.FlushBatch(); err != nil {
+		return err
+	}
+	if keyframe {
+		p.needKeyframe = false
+		counts.netKeyframes++
+	}
+	return nil
 }
 
 func fitsInt8(v int32) bool { return v >= -128 && v <= 127 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -41,16 +42,41 @@ type Config struct {
 	// independent — any value produces identical results (per-region
 	// decision streams; see internal/mlg/entity).
 	SimWorkers int
+
+	// WriteTimeout bounds each outbound socket write on a real connection's
+	// async writer; a peer that keeps a write stalled past it is
+	// disconnected on the next tick with its queued frames reclaimed. Zero
+	// disables the deadline (DefaultConfig: 5 s).
+	WriteTimeout time.Duration
+	// WriteQueueBatches and WriteQueueBytes bound a real connection's
+	// outbound writer queue (per-tick batches / total queued bytes). When
+	// the peer falls behind both bounds, the tick's batch is dropped and
+	// the player falls back to a keyframe. Zero picks the protocol-layer
+	// defaults (64 batches / 1 MiB).
+	WriteQueueBatches int
+	WriteQueueBytes   int
+	// ReadIdleTimeout disconnects a real connection that sends nothing at
+	// all for this long — a silent peer otherwise leaks its read goroutine
+	// and player session forever. Zero disables (DefaultConfig: 90 s; bots
+	// answer keep-alives, so live clients always have traffic).
+	ReadIdleTimeout time.Duration
+	// SocketWriteBuffer, when > 0, shrinks accepted TCP connections' kernel
+	// send buffers (SO_SNDBUF) so a stalled reader exerts backpressure
+	// after kilobytes instead of megabytes. Load tests use it to provoke
+	// the overflow→keyframe→disconnect ladder quickly; production leaves 0.
+	SocketWriteBuffer int
 }
 
 // DefaultConfig returns a server configuration for the given flavor.
 func DefaultConfig(f Flavor) Config {
 	return Config{
-		Flavor:         f,
-		ViewDistance:   5,
-		Costs:          DefaultCosts(),
-		Seed:           1,
-		KeepAliveEvery: 5 * time.Second,
+		Flavor:          f,
+		ViewDistance:    5,
+		Costs:           DefaultCosts(),
+		Seed:            1,
+		KeepAliveEvery:  5 * time.Second,
+		WriteTimeout:    5 * time.Second,
+		ReadIdleTimeout: 90 * time.Second,
 	}
 }
 
@@ -75,6 +101,12 @@ type Player struct {
 	// seen and gone are per-tick scratch reused across ticks by sendReal.
 	seen map[int64]struct{}
 	gone []int64
+	// needKeyframe is set when this player's outbound batch was dropped on
+	// writer-queue overflow: the client missed that tick's deltas, so the
+	// next batch that fits re-baselines every in-view entity with full
+	// EntityMove packets (lastSent is cleared) instead of streaming deltas
+	// against positions the client never saw. Tick goroutine only.
+	needKeyframe bool
 }
 
 // qpos is an entity position quantized to 1/32 block, the EntityMoveRel
@@ -128,6 +160,31 @@ type TickRecord struct {
 	SimParallel bool
 	EntRegions  int
 	EntParallel bool
+	// NetDrops, NetKeyframes and NetQueuedBytes instrument the async
+	// outbound path this tick: batches dropped on writer-queue overflow,
+	// keyframe fallbacks delivered after drops, and the total bytes still
+	// queued across all connection writers when dissemination finished.
+	// Always zero for virtual-only servers.
+	NetDrops       int
+	NetKeyframes   int
+	NetQueuedBytes int
+}
+
+// OutboundStats aggregates the peer-fault counters of the async outbound
+// path over the server's lifetime.
+type OutboundStats struct {
+	// DroppedBatches counts per-player tick batches dropped because the
+	// connection's bounded writer queue was full (chunk-burst batches that
+	// stayed owed included).
+	DroppedBatches int64
+	// Keyframes counts keyframe fallbacks: after a drop, the next batch
+	// that fit re-baselined the client with full EntityMove packets.
+	Keyframes int64
+	// WriteDisconnects counts players reaped because their connection's
+	// writer faulted (write error or a peer stalled past WriteTimeout).
+	WriteDisconnects int64
+	// IdleDisconnects counts players reaped by the read idle timeout.
+	IdleDisconnects int64
 }
 
 // NetTotals aggregates outbound traffic for Table 8.
@@ -202,6 +259,7 @@ type Server struct {
 	crashReason string
 
 	net      NetTotals
+	out      OutboundStats // async outbound peer-fault counters (under mu)
 	fig11    Fig11Totals
 	lastGen  int // world chunks generated at last tick
 	sizes    frameSizes
@@ -449,6 +507,22 @@ func (s *Server) NetTotals() NetTotals {
 	return s.net
 }
 
+// Outbound returns the cumulative peer-fault counters of the async
+// outbound path (drops, keyframe fallbacks, write/idle disconnects).
+func (s *Server) Outbound() OutboundStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.out
+}
+
+// noteIdleDisconnect records a read-idle-timeout reap; called from the
+// connection's read goroutine.
+func (s *Server) noteIdleDisconnect() {
+	s.mu.Lock()
+	s.out.IdleDisconnects++
+	s.mu.Unlock()
+}
+
 // Fig11 returns the cumulative per-category busy/wait time split.
 func (s *Server) Fig11() Fig11Totals {
 	s.mu.Lock()
@@ -468,6 +542,7 @@ func (s *Server) ResetStats() {
 	s.pendingChat = nil
 	s.net = NetTotals{}
 	s.fig11 = Fig11Totals{}
+	s.out = OutboundStats{}
 }
 
 // Records returns all tick records so far.
@@ -621,6 +696,10 @@ func (s *Server) Tick() TickRecord {
 		SimParallel: ps.LastParallel,
 		EntRegions:  es.LastRegions,
 		EntParallel: es.LastParallel,
+
+		NetDrops:       counts.netDrops,
+		NetKeyframes:   counts.netKeyframes,
+		NetQueuedBytes: counts.netQueuedBytes,
 	}
 	s.records = append(s.records, rec)
 	s.mu.Unlock()
@@ -822,8 +901,12 @@ func (s *Server) disseminate(counts *tickCounts) {
 	}
 
 	// Join bursts: chunk data owed to newly connected players, throttled to
-	// a per-tick budget per player (real servers pace chunk streaming).
+	// a per-tick budget per player (real servers pace chunk streaming). On a
+	// real connection the chunks only stop being owed once the batch is
+	// accepted by the writer queue: a backlogged peer keeps its chunks
+	// pending (owed-chunk resend next tick), a faulted peer is reaped below.
 	const chunkSendBudget = 40
+	var dead []int64
 	for _, p := range players {
 		n := len(p.pendingChunks)
 		if n == 0 {
@@ -833,14 +916,45 @@ func (s *Server) disseminate(counts *tickCounts) {
 			n = chunkSendBudget
 		}
 		batch := p.pendingChunks[:n]
+		if p.conn != nil {
+			switch err := s.sendChunkBatch(p, batch); {
+			case err == nil:
+			case errors.Is(err, protocol.ErrBacklog):
+				counts.netDrops++
+				continue // chunks stay owed; retry next tick
+			default:
+				dead = append(dead, p.ID)
+				continue
+			}
+		}
 		counts.chunksSent += n
 		addMsgs(n, s.sizes.chunkData, false)
-		if p.conn != nil {
-			s.sendChunkBatch(p, batch)
-		}
 		p.pendingChunks = p.pendingChunks[n:]
 	}
 
 	// Real connections additionally receive materialized packets.
-	s.sendReal(players, bc, counts)
+	dead = append(dead, s.sendReal(players, bc, counts)...)
+
+	// Sample the queue-depth gauge and reap faulted peers. Disconnect closes
+	// the connection, which reclaims every batch its writer still holds.
+	reaped := make(map[int64]bool, len(dead))
+	for _, p := range players {
+		if p.conn != nil {
+			_, qb := p.conn.WriterQueueDepth()
+			counts.netQueuedBytes += qb
+		}
+	}
+	for _, id := range dead {
+		if reaped[id] {
+			continue
+		}
+		reaped[id] = true
+		s.Disconnect(id)
+	}
+
+	s.mu.Lock()
+	s.out.DroppedBatches += int64(counts.netDrops)
+	s.out.Keyframes += int64(counts.netKeyframes)
+	s.out.WriteDisconnects += int64(len(reaped))
+	s.mu.Unlock()
 }

@@ -14,6 +14,13 @@ import (
 // malformed (protects against corrupt length prefixes).
 const MaxFrameSize = 4 << 20
 
+// maxPooledReadBuf caps the payload buffer a connection keeps between
+// reads. Frames up to this size reuse the pooled buffer; larger (legal but
+// rare) frames get a transient allocation instead, so one oversized frame
+// cannot pin up to MaxFrameSize (4 MiB) per connection for its lifetime —
+// at 10k connections that pin would cost 40 GiB.
+const maxPooledReadBuf = 64 << 10
+
 // Conn frames packets over a byte stream. It is safe for one concurrent
 // reader and one concurrent writer. Byte and message counters feed the
 // Table 8 network statistics; they are plain atomics so the hot write path
@@ -30,6 +37,12 @@ type Conn struct {
 	// accumulate in bw and go out on the closing FlushBatch (or when the
 	// buffer fills). Guarded by wmu.
 	batchDepth int
+	// aw, when non-nil, switches the connection into async-writer mode (see
+	// StartWriter): writes stage into pending and enqueue at the flush
+	// boundary instead of touching the socket. All three guarded by wmu.
+	aw           *connWriter
+	pending      []byte
+	pendingStats outStats
 
 	msgsOut      atomic.Int64
 	bytesOut     atomic.Int64
@@ -80,11 +93,23 @@ func (c *Conn) flushLocked() error {
 // WritePacket frames and sends one packet, returning the frame size in
 // bytes. Outside a batch it flushes immediately (game traffic is latency
 // sensitive); inside a BeginBatch/FlushBatch window the bytes ride the
-// batch.
+// batch. In async-writer mode nothing touches the socket: the frame stages
+// onto the in-progress batch and, at the flush boundary, enqueues onto the
+// bounded writer queue — a full queue returns ErrBacklog, a dead peer the
+// writer's sticky error.
 func (c *Conn) WritePacket(p Packet) (int, error) {
 	c.wmu.Lock()
 	c.wbuf = AppendFrame(c.wbuf[:0], p)
 	frame := len(c.wbuf)
+	if c.aw != nil {
+		c.appendAsyncLocked(c.wbuf, EntityRelated(p))
+		var err error
+		if c.batchDepth == 0 {
+			err = c.enqueueLocked()
+		}
+		c.wmu.Unlock()
+		return frame, err
+	}
 	if _, err := c.bw.Write(c.wbuf); err != nil {
 		c.wmu.Unlock()
 		return 0, err
@@ -100,10 +125,19 @@ func (c *Conn) WritePacket(p Packet) (int, error) {
 
 // WriteFrame sends an already-encoded frame as a raw byte copy — the
 // broadcast fast path: the packet was marshalled once (EncodeFrame) and
-// fans out to N connections without re-encoding. Flush discipline matches
-// WritePacket.
+// fans out to N connections without re-encoding. Flush and async-mode
+// discipline match WritePacket.
 func (c *Conn) WriteFrame(f Frame) (int, error) {
 	c.wmu.Lock()
+	if c.aw != nil {
+		c.appendAsyncLocked(f.data, f.entity)
+		var err error
+		if c.batchDepth == 0 {
+			err = c.enqueueLocked()
+		}
+		c.wmu.Unlock()
+		return len(f.data), err
+	}
 	if _, err := c.bw.Write(f.data); err != nil {
 		c.wmu.Unlock()
 		return 0, err
@@ -129,7 +163,10 @@ func (c *Conn) BeginBatch() {
 }
 
 // FlushBatch closes the innermost batch window and, when the last one
-// closes, flushes everything accumulated.
+// closes, flushes everything accumulated. In async-writer mode the closing
+// flush enqueues the batch instead of writing it: ErrBacklog means the
+// whole batch was dropped (the peer is not draining), any other error is
+// the writer's sticky fault.
 func (c *Conn) FlushBatch() error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -137,6 +174,9 @@ func (c *Conn) FlushBatch() error {
 		c.batchDepth--
 	}
 	if c.batchDepth == 0 {
+		if c.aw != nil {
+			return c.enqueueLocked()
+		}
 		return c.bw.Flush()
 	}
 	return nil
@@ -153,10 +193,19 @@ func (c *Conn) ReadPacket() (Packet, int, error) {
 	if length < 1 || length > MaxFrameSize {
 		return nil, 0, fmt.Errorf("protocol: bad frame length %d", length)
 	}
-	if cap(c.rbuf) < int(length) {
-		c.rbuf = make([]byte, length)
+	// Stage the payload in the pooled buffer, capped at maxPooledReadBuf:
+	// oversized frames use a transient allocation so they never ratchet the
+	// per-connection buffer up toward MaxFrameSize for good. Decoded packets
+	// copy what they keep, so the transient buffer is garbage immediately.
+	var payload []byte
+	if int(length) > maxPooledReadBuf {
+		payload = make([]byte, length)
+	} else {
+		if cap(c.rbuf) < int(length) {
+			c.rbuf = make([]byte, length)
+		}
+		payload = c.rbuf[:length]
 	}
-	payload := c.rbuf[:length]
 	if _, err := io.ReadFull(c.br, payload); err != nil {
 		return nil, 0, err
 	}
@@ -178,8 +227,33 @@ func (c *Conn) ReadPacket() (Packet, int, error) {
 	return p, frame, nil
 }
 
-// Close closes the underlying stream.
-func (c *Conn) Close() error { return c.rw.Close() }
+// SetReadDeadline bounds the next ReadPacket when the underlying stream
+// supports deadlines (net.Conn, net.Pipe); otherwise it is a no-op. The
+// server's per-connection read loop uses it as the idle timeout that reaps
+// silent peers.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	if d, ok := c.rw.(interface{ SetReadDeadline(time.Time) error }); ok {
+		return d.SetReadDeadline(t)
+	}
+	return nil
+}
+
+// Close shuts down the async writer (if running), reclaiming any queued
+// batches, and closes the underlying stream — which also unblocks a writer
+// goroutine stalled inside a socket write.
+func (c *Conn) Close() error {
+	c.wmu.Lock()
+	aw := c.aw
+	c.wmu.Unlock()
+	if aw != nil {
+		aw.stop()
+	}
+	err := c.rw.Close()
+	if aw != nil {
+		<-aw.done
+	}
+	return err
+}
 
 // Stats is a snapshot of the connection's traffic counters.
 type Stats struct {

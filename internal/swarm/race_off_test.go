@@ -1,0 +1,5 @@
+//go:build !race
+
+package swarm
+
+const raceEnabled = false

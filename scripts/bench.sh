@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # bench.sh — run the tick + network benchmarks and record the perf
-# trajectory into a JSON file (default BENCH_8.json): one entry per
-# benchmark with name, ns/op, allocs/op and cpus. Two passes:
+# trajectory into a JSON file (default BENCH_9.json): one entry per
+# benchmark with name, ns/op, allocs/op and cpus. Three passes:
 #
 #   1. the full pinned set at -cpu 1 (GOMAXPROCS=1) — the serial per-
 #      workload baselines the time gate protects, plus the workers sweeps
 #      (BenchmarkTickParallel, BenchmarkEntityTickParallel) pinned single-
 #      core so their alloc trajectories stay machine-independent;
 #   2. the two region-parallel sweeps again at -cpu 2,4,8 — the multicore
-#      scaling record for the worker schedulers.
+#      scaling record for the worker schedulers;
+#   3. BenchmarkSwarmTail at the host's full parallelism, always one
+#      iteration — a real-TCP swarm run with an injected stalled reader.
+#      Its ns/op is just the fixed wall budget of one run; the interesting
+#      fields are the extra metrics it reports (p99-tick-ns, isr), recorded
+#      as p99_tick_ns / isr in the JSON. Swarm entries are presence-pinned
+#      but exempt from both perf gates (see bench_compare.sh).
 #
 # cpus is parsed from go test's -N GOMAXPROCS name suffix (absent at 1), so
 # it records what the measurement actually ran under — NOT the host's
@@ -16,18 +22,19 @@
 # time-sliced (no real scaling, and that is what gets recorded); real
 # speedups only appear on runners with that many cores.
 #
-# BENCH_8.json extends the committed baselines the CI perf gate diffs fresh
+# BENCH_9.json extends the committed baselines the CI perf gate diffs fresh
 # runs
 # against: scripts/bench_compare.sh keys entries on (name, cpus) and fails
 # the build on >25% calibrated ns/op or any allocs/op regression in the
 # pinned set (see its header for the exact rules — cpus>1 entries are
-# alloc-gated only). Re-record it in the same change as any intentional
+# alloc-gated only, Swarm entries are presence-only). Re-record it in the
+# same change as any intentional
 # perf shift — and ALWAYS with BENCHTIME=1x, the mode CI measures in:
 # multi-iteration runs amortize setup allocations (e.g. BenchmarkSendReal
 # reports ~99 allocs/op at 20x vs ~640 at 1x), so a 1s-recorded baseline
 # makes the 1x alloc gate fail spuriously.
 #
-#   BENCHTIME=1x scripts/bench.sh BENCH_8.json   # re-record the gate baseline
+#   BENCHTIME=1x scripts/bench.sh BENCH_9.json   # re-record the gate baseline
 #
 # Usage:
 #   scripts/bench.sh [out.json]       # local profiling (1s per benchmark)
@@ -35,7 +42,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 benchtime="${BENCHTIME:-1s}"
 
 full='BenchmarkTick$|BenchmarkTickParallel$|BenchmarkEntityTickParallel$|BenchmarkSendReal$|BenchmarkSerializeChunk$|BenchmarkSnapshotSave$|BenchmarkRestore$'
@@ -52,6 +59,15 @@ go test -run '^$' -bench "$sweep" \
   -benchmem -benchtime "$benchtime" -cpu 2,4,8 \
   ./internal/mlg/server ./internal/mlg/entity | tee -a "$raw"
 
+# Swarm tail benchmark: always 1x — each iteration is a full multi-second
+# real-TCP run, so -benchtime only multiplies wall clock, not resolution.
+# Pinned to -cpu 4 so the recorded (name, cpus) key is host-independent:
+# without it the benchmark name carries the host's GOMAXPROCS suffix and a
+# baseline recorded on one core count would read as missing on another.
+go test -run '^$' -bench 'BenchmarkSwarmTail$' \
+  -benchmem -benchtime 1x -cpu 4 \
+  ./internal/swarm | tee -a "$raw"
+
 awk '
   /^Benchmark/ {
     name = $1; cpus = 1
@@ -59,12 +75,14 @@ awk '
       cpus = substr(name, RSTART + 1)
       name = substr(name, 1, RSTART - 1)
     }
-    ns = "null"; allocs = "null"
+    ns = "null"; allocs = "null"; p99 = "null"; isr = "null"
     for (i = 2; i <= NF; i++) {
-      if ($(i + 1) == "ns/op")     ns = $i
-      if ($(i + 1) == "allocs/op") allocs = $i
+      if ($(i + 1) == "ns/op")       ns = $i
+      if ($(i + 1) == "allocs/op")   allocs = $i
+      if ($(i + 1) == "p99-tick-ns") p99 = $i
+      if ($(i + 1) == "isr")         isr = $i
     }
-    printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"cpus\": %s}", sep, name, ns, allocs, cpus
+    printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"cpus\": %s, \"p99_tick_ns\": %s, \"isr\": %s}", sep, name, ns, allocs, cpus, p99, isr
     sep = ",\n"
   }
   BEGIN { print "[" }
