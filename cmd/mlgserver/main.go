@@ -27,6 +27,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -35,6 +37,7 @@ import (
 	"repro/internal/mlg/persist"
 	"repro/internal/mlg/server"
 	"repro/internal/mlg/world"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -48,8 +51,20 @@ func main() {
 		saveDir    = flag.String("save-dir", "", "snapshot directory (empty = persistence off)")
 		snapEvery  = flag.Int("snapshot-every", 200, "snapshot cadence in ticks (with -save-dir)")
 		snapFull   = flag.Int("snapshot-full-every", 10, "every Nth snapshot is full, the rest incremental")
+
+		shardSpec  = flag.String("shard", "", "run as shard i/N of a chunk-split world, e.g. 0/2 (needs -splits, -shard-addr, -shard-peers)")
+		gatewayFlg = flag.Bool("gateway", false, "run as a player gateway routing to shard processes (needs -splits, -shards)")
+		splitsFlag = flag.String("splits", "", "ascending chunk-X split points, comma-separated (N-1 entries for N shards)")
+		shardAddr  = flag.String("shard-addr", "", "this shard's inter-shard session listen address")
+		shardPeers = flag.String("shard-peers", "", "session addresses of all shards, comma-separated and index-aligned")
+		shardsFlag = flag.String("shards", "", "player addresses of all shards, comma-separated (gateway mode)")
 	)
 	flag.Parse()
+
+	if *gatewayFlg {
+		runGateway(*addr, *splitsFlag, *shardsFlag)
+		return
+	}
 
 	flavor, err := server.FlavorByName(*flavorName)
 	if err != nil {
@@ -62,18 +77,65 @@ func main() {
 
 	w := workload.NewWorld(kind, *seed)
 	cfg := server.DefaultConfig(flavor)
-	s := server.New(w, cfg, nil, env.RealClock{}) // wall-clock mode
 
-	// With a save directory, restore the newest good snapshot instead of
-	// installing the workload from scratch; the store skips torn or corrupt
-	// files and falls back to the last one whose checksums verify.
+	// Shard mode: this process owns one chunk range of a split world and
+	// exchanges halo mirrors + entity handoffs with its peers after every
+	// tick, in lockstep over TCP sessions.
+	var (
+		shardIdx, shardN int
+		smap             shard.Map
+	)
+	if *shardSpec != "" {
+		if _, err := fmt.Sscanf(*shardSpec, "%d/%d", &shardIdx, &shardN); err != nil || shardIdx < 0 || shardIdx >= shardN {
+			log.Fatalf("bad -shard %q, want i/N", *shardSpec)
+		}
+		splits, err := parseSplits(*splitsFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		smap = shard.Map{Splits: splits}
+		if err := smap.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		if smap.Count() != shardN {
+			log.Fatalf("-splits %q describes %d shards, -shard says %d", *splitsFlag, smap.Count(), shardN)
+		}
+		cfg.Shard = server.ShardConfig{Count: shardN, Index: shardIdx, Owns: smap.Owns(shardIdx)}
+	}
+
+	// With a save directory the server owns a snapshotter (Config.Persist):
+	// it snapshots at the tick tail on the configured cadence, and the
+	// after-tick hook surfaces write failures.
 	var st *persist.Store
-	restored := false
 	if *saveDir != "" {
 		var err error
 		if st, err = persist.NewStore(*saveDir); err != nil {
 			log.Fatal(err)
 		}
+		cfg.Persist = server.PersistConfig{Store: st, Every: *snapEvery, FullEvery: *snapFull}
+	}
+	var s *server.Server
+	var ep *shard.Endpoint
+	cfg.Hooks.AfterTick = func(rec server.TickRecord) {
+		if ep != nil {
+			if err := ep.Exchange(rec.Tick); err != nil {
+				log.Printf("shard exchange: %v", err)
+				s.Stop()
+			}
+		}
+		if st != nil {
+			if err := s.Snapshotter().Err(); err != nil {
+				log.Printf("snapshot: %v", err)
+			}
+		}
+	}
+	s = server.New(w, cfg, nil, env.RealClock{}) // wall-clock mode
+
+	// Restore the newest good snapshot instead of installing the workload
+	// from scratch; the store skips torn or corrupt files and falls back to
+	// the last one whose checksums verify.
+	restored := false
+	if st != nil {
 		switch res, err := st.LoadLatest(); {
 		case err == nil:
 			for _, skip := range res.Skipped {
@@ -97,17 +159,20 @@ func main() {
 		workload.Arm(s, kind.DefaultSpec())
 	}
 
-	var sn *server.Snapshotter
-	if st != nil {
-		sn = server.NewSnapshotter(s, st, server.SnapshotterConfig{
-			Every: *snapEvery, FullEvery: *snapFull,
-		})
-		s.OnAfterTick(func(rec server.TickRecord) {
-			sn.MaybeSnapshot(rec.Tick)
-			if err := sn.Err(); err != nil {
-				log.Printf("snapshot: %v", err)
-			}
-		})
+	// Link the inter-shard mesh before the tick loop starts: every shard
+	// blocks here until all its peers are up, so tick 1 already runs in
+	// lockstep.
+	if *shardSpec != "" {
+		ep = shard.NewEndpoint(s, smap, shardIdx)
+		sln, err := net.Listen("tcp", *shardAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers := strings.Split(*shardPeers, ",")
+		if err := shard.ConnectMesh(ep, sln, peers, 60*time.Second); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shard %d/%d linked (splits %v)", shardIdx, shardN, smap.Splits)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -151,7 +216,7 @@ func main() {
 	fmt.Println("\nshutting down")
 	s.Stop()
 	<-runDone
-	if sn != nil {
+	if sn := s.Snapshotter(); sn != nil {
 		sn.Snapshot()
 		sn.Close()
 		if err := sn.Err(); err != nil {
@@ -161,4 +226,49 @@ func main() {
 		}
 	}
 	ln.Close()
+}
+
+// runGateway serves the -gateway mode: a pure player-routing proxy in
+// front of already-running shard processes.
+func runGateway(addr, splitsFlag, shardsFlag string) {
+	splits, err := parseSplits(splitsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := shard.Map{Splits: splits}
+	addrs := strings.Split(shardsFlag, ",")
+	gw, err := shard.NewGateway(shard.GatewayConfig{
+		Map:   m,
+		Addrs: addrs,
+		OnShardDown: func(i int) {
+			log.Printf("shard %d down; retrying until a standby answers on %s", i, addrs[i])
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("gateway on %s routing %d shards (splits %v)", ln.Addr(), m.Count(), m.Splits)
+	if err := gw.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseSplits parses the -splits flag: ascending chunk-X boundaries.
+func parseSplits(s string) ([]int32, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int32
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad -splits entry %q: %v", part, err)
+		}
+		out = append(out, int32(v))
+	}
+	return out, nil
 }

@@ -106,9 +106,9 @@ func Run(spec RunSpec) RunResult {
 
 	w := workload.NewWorld(spec.Workload.Kind, worldSeed)
 	scfg := server.DefaultConfig(spec.Flavor)
-	scfg.Seed = spec.Seed
-	scfg.ClientTimeout = spec.Env.ConnTimeout
-	scfg.SimWorkers = spec.SimWorkers
+	scfg.Sim.Seed = spec.Seed
+	scfg.Net.ClientTimeout = spec.Env.ConnTimeout
+	scfg.Sim.Workers = spec.SimWorkers
 	s := server.New(w, scfg, machine, clock)
 	if err := workload.Install(s, spec.Workload); err != nil {
 		return RunResult{Crashed: true, CrashReason: err.Error()}

@@ -106,6 +106,14 @@ type Entity struct {
 	// wanderCooldown ticks down between AI decisions.
 	wanderCooldown int
 
+	// seedKey is the entity's spawn identity: a pure function of the world
+	// seed and the entity's spawn position and tick, assigned once at add()
+	// and carried across shard handoffs. Decision streams and the throttle
+	// phase key on it instead of the store-local ID, so an entity behaves
+	// identically whichever shard simulates it and whatever local ID that
+	// shard assigned. Never zero for a live entity.
+	seedKey uint64
+
 	// chunk is the spatial-index bucket currently holding the entity,
 	// maintained by the store as the entity moves.
 	chunk world.ChunkPos

@@ -13,7 +13,8 @@ import (
 // motion, lifecycle, including the Dead flag, because explosion impulses
 // land after compaction and a dead-but-uncollected entity is legitimate
 // between server ticks — followed by the private AI state the wire form
-// omits: path, waypoint index, path chunk versions, wander cooldown.
+// omits: path, waypoint index, path chunk versions, wander cooldown, spawn
+// seed key.
 // Alongside the entities: tick number, ID allocator, RNG state, the
 // carried-over counters (explosion-impulse collisions are attributed to
 // the *next* tick, so they are live at the snapshot boundary), terrain
@@ -54,6 +55,7 @@ func appendEntityPersist(dst []byte, e *Entity) []byte {
 		dst = persist.AppendU8(dst, 0)
 	}
 	dst = persist.AppendI32(dst, int32(e.wanderCooldown))
+	dst = persist.AppendU64(dst, e.seedKey)
 	return dst
 }
 
@@ -141,7 +143,7 @@ func (ew *World) RestorePersist(data []byte) error {
 		cvals[i] = int(d.I64())
 	}
 
-	n := d.Count(snapshotSize + 1 + 4)
+	n := d.Count(snapshotSize + 1 + 4 + 8)
 	list := make([]*Entity, 0, n)
 	for i := 0; i < n; i++ {
 		if d.Err() != nil {
@@ -175,6 +177,10 @@ func (ew *World) RestorePersist(data []byte) error {
 			}
 		}
 		e.wanderCooldown = int(d.I32())
+		e.seedKey = d.U64()
+		if d.Err() == nil && e.seedKey == 0 {
+			return fmt.Errorf("%w: entity %d: zero seed key", persist.ErrCorrupt, i)
+		}
 		list = append(list, e)
 	}
 

@@ -238,11 +238,30 @@ func (ew *World) Entities(fn func(*Entity)) {
 }
 
 func (ew *World) add(e *Entity) *Entity {
+	e2 := ew.insert(e)
+	if e2 != nil {
+		ew.counters.Spawns++
+	}
+	return e2
+}
+
+// insert places an entity into the store without counting a spawn: add()
+// wraps it for fresh spawns; shard handoffs use it directly so arrivals do
+// not perturb the Spawns counter (the single-shard run they must sum-match
+// never spawned them).
+func (ew *World) insert(e *Entity) *Entity {
 	if len(ew.list) >= ew.cfg.MaxEntities {
 		return nil
 	}
 	ew.nextID++
 	e.ID = ew.nextID
+	if e.seedKey == 0 {
+		// Spawn identity: a pure function of the spawn position and tick, so
+		// decision streams and throttle phases survive shard handoffs and are
+		// identical across shard layouts (see rng.go). Handed-off entities
+		// arrive with their original key and keep it.
+		e.seedKey = spawnSeedKey(ew.seed, e.Pos.BlockPos(), ew.tickNum)
+	}
 	ew.list = append(ew.list, e)
 	ew.byID[e.ID] = e
 	e.chunk = world.ChunkPosAt(e.Pos.BlockPos())
@@ -251,7 +270,6 @@ func (ew *World) add(e *Entity) *Entity {
 	if e.Kind == Mob {
 		ew.mobs++
 	}
-	ew.counters.Spawns++
 	return e
 }
 
@@ -260,8 +278,12 @@ func (ew *World) SpawnPrimedTNT(p world.Pos, fuseTicks int) {
 	ew.add(&Entity{Kind: PrimedTNT, Pos: Center(p), Fuse: fuseTicks})
 }
 
-// SpawnItem implements sim.EntityOps.
+// SpawnItem implements sim.EntityOps. Ejection velocities draw from the
+// spawn block's per-tick stream (rng.go), not the store RNG, so they are
+// identical across shard layouts.
 func (ew *World) SpawnItem(p world.Pos, item world.BlockID) {
+	st := newSpawnStream(ew.seed, p, ew.tickNum)
+	vel := Vec3{X: (st.Float64() - 0.5) * 0.2, Y: 0.2, Z: (st.Float64() - 0.5) * 0.2}
 	if cs := ew.cfg.ItemMergeCells; cs > 0 {
 		cell := world.Pos{X: floorDivInt(p.X, cs), Y: floorDivInt(p.Y, cs), Z: floorDivInt(p.Z, cs)}
 		if id, ok := ew.itemCells[cell]; ok {
@@ -270,15 +292,13 @@ func (ew *World) SpawnItem(p world.Pos, item world.BlockID) {
 				return
 			}
 		}
-		e := ew.add(&Entity{Kind: Item, Pos: Center(p), ItemType: item,
-			Vel: Vec3{X: (ew.rng.Float64() - 0.5) * 0.2, Y: 0.2, Z: (ew.rng.Float64() - 0.5) * 0.2}})
+		e := ew.add(&Entity{Kind: Item, Pos: Center(p), ItemType: item, Vel: vel})
 		if e != nil {
 			ew.itemCells[cell] = e.ID
 		}
 		return
 	}
-	ew.add(&Entity{Kind: Item, Pos: Center(p), ItemType: item,
-		Vel: Vec3{X: (ew.rng.Float64() - 0.5) * 0.2, Y: 0.2, Z: (ew.rng.Float64() - 0.5) * 0.2}})
+	ew.add(&Entity{Kind: Item, Pos: Center(p), ItemType: item, Vel: vel})
 }
 
 func floorDivInt(a, b int) int {
@@ -495,8 +515,9 @@ func (ew *World) throttledAt(e *Entity, age int) bool {
 		return false
 	}
 	// The 1-in-4 schedule is phase-shifted per entity so throttled mobs do
-	// not bunch onto the same tick.
-	return (age+int(e.ID))%4 != 0
+	// not bunch onto the same tick. The phase keys on the spawn identity,
+	// not the store-local ID, so it survives shard handoffs.
+	return (age+int(e.seedKey&3))%4 != 0
 }
 
 // compact removes dead and expired entities. Mobs that die drop loot (the

@@ -1,0 +1,31 @@
+// Package mlg defines the node abstraction shared by every deployment shape
+// of the MLG engine: a single-process server owning the whole world, one
+// shard of a partitioned world, or an in-process cluster of shards driven in
+// lockstep. Benchmark harnesses and scenario scripts program against Node so
+// the same workload runs unchanged against any topology — the property the
+// 2-shard-vs-single-shard differential suites depend on.
+package mlg
+
+import "repro/internal/mlg/server"
+
+// Node is one tickable game-world endpoint. A *server.Server satisfies it
+// directly; shard.Cluster satisfies it by fanning each call out across its
+// shards and merging the results.
+type Node interface {
+	// Tick advances the world one tick and returns its record. For a
+	// cluster the record is the merged view: counters summed across shards,
+	// durations the per-tick maximum.
+	Tick() server.TickRecord
+	// Connect joins a player to the world. A cluster routes the connection
+	// to the shard owning the player's spawn chunk.
+	Connect(name string) *server.Player
+	// Snapshot captures the node's externally visible state fingerprint at
+	// a tick boundary.
+	Snapshot() server.Snapshot
+	// Hooks returns the hook set the node was constructed with.
+	Hooks() server.Hooks
+}
+
+// Both deployment shapes must keep satisfying Node; shard.Cluster asserts
+// its half in internal/shard.
+var _ Node = (*server.Server)(nil)

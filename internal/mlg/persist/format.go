@@ -16,8 +16,10 @@ import (
 // change incompatibly; adding new section IDs does not bump it, because
 // readers skip sections they do not recognise via the length prefix.
 const (
-	Magic         = 0x4D4C4750 // "MLGP"
-	FormatVersion = 1
+	Magic = 0x4D4C4750 // "MLGP"
+	// Version 2: the entity section carries each entity's spawn seed key
+	// (shard-independent RNG identity) after its wander cooldown.
+	FormatVersion = 2
 )
 
 // Kind distinguishes full snapshots from incrementals layered on a base.

@@ -27,8 +27,8 @@ import (
 func newMatrixServer(k workload.Kind, f server.Flavor, simWorkers int) *server.Server {
 	w := workload.NewWorld(k, world.PaperControlSeed)
 	cfg := server.DefaultConfig(f)
-	cfg.Seed = 1234
-	cfg.SimWorkers = simWorkers
+	cfg.Sim.Seed = 1234
+	cfg.Sim.Workers = simWorkers
 	m := env.NewMachine(env.DAS5SixteenCore, 1)
 	s := server.New(w, cfg, m, env.NewVirtualClock(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)))
 	spec := k.DefaultSpec()

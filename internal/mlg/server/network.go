@@ -39,7 +39,7 @@ import (
 //     dropped and the player falls back to a keyframe — lastSent is
 //     cleared so every in-view entity re-baselines with a full EntityMove,
 //     and undelivered chunk batches stay owed — mirroring the delta→full
-//     fallback. A peer whose write stalls past Config.WriteTimeout faults
+//     fallback. A peer whose write stalls past NetConfig.WriteTimeout faults
 //     its writer and is disconnected on the next tick, frames reclaimed.
 //     One slow TCP peer therefore costs one blocked goroutine, never a
 //     stalled world.
@@ -57,9 +57,9 @@ func (s *Server) Serve(ln net.Listener) error {
 				return err
 			}
 		}
-		if s.cfg.SocketWriteBuffer > 0 {
+		if s.cfg.Net.SocketWriteBuffer > 0 {
 			if tc, ok := c.(*net.TCPConn); ok {
-				tc.SetWriteBuffer(s.cfg.SocketWriteBuffer)
+				tc.SetWriteBuffer(s.cfg.Net.SocketWriteBuffer)
 			}
 		}
 		go s.handleConn(protocol.NewConn(c))
@@ -67,7 +67,9 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Run drives the game loop in real time on the server's clock until Stop is
-// called: one Tick per 50 ms budget (back-to-back when overloaded).
+// called: one Tick per 50 ms budget (back-to-back when overloaded). The
+// after-tick hook and snapshot cadence run inside Tick itself
+// (Hooks.AfterTick, Config.Persist), so Run is a bare loop.
 func (s *Server) Run() {
 	go s.keepAliveLoop()
 	for {
@@ -76,22 +78,12 @@ func (s *Server) Run() {
 			return
 		default:
 		}
-		rec := s.Tick()
-		if h := s.afterTick; h != nil {
-			h(rec)
-		}
+		s.Tick()
 		if crashed, reason := s.Crashed(); crashed {
 			log.Printf("server crashed: %s", reason)
 			return
 		}
 	}
-}
-
-// OnAfterTick registers a hook run on the tick goroutine after every Run
-// iteration, between ticks — where periodic work that must see a quiescent
-// server (the snapshotter) belongs. Set it before calling Run; nil clears.
-func (s *Server) OnAfterTick(fn func(rec TickRecord)) {
-	s.afterTick = fn
 }
 
 // Stop terminates Run and Serve and disconnects all players.
@@ -143,12 +135,12 @@ func (s *Server) handleConn(conn *protocol.Conn) {
 	// the connection's async writer so a slow peer can never block the tick
 	// goroutine (or the keep-alive/chat broadcast loops).
 	conn.StartWriter(protocol.WriterConfig{
-		MaxBatches:   s.cfg.WriteQueueBatches,
-		MaxBytes:     s.cfg.WriteQueueBytes,
-		WriteTimeout: s.cfg.WriteTimeout,
+		MaxBatches:   s.cfg.Net.WriteQueueBatches,
+		MaxBytes:     s.cfg.Net.WriteQueueBytes,
+		WriteTimeout: s.cfg.Net.WriteTimeout,
 	})
 
-	idle := s.cfg.ReadIdleTimeout
+	idle := s.cfg.Net.ReadIdleTimeout
 	for {
 		if idle > 0 {
 			conn.SetReadDeadline(time.Now().Add(idle))
@@ -297,7 +289,7 @@ func (s *Server) sendReal(players []*Player, bc []protocol.BlockChange, counts *
 	tick := s.tick
 	s.mu.Unlock()
 	tickFrame := protocol.EncodeFrame(&protocol.TimeUpdate{Tick: tick})
-	vd := int32(s.cfg.ViewDistance)
+	vd := int32(s.cfg.Net.ViewDistance)
 
 	var dead []int64
 	for _, p := range players {
@@ -449,7 +441,7 @@ func Addr(host string, port int) string { return fmt.Sprintf("%s:%d", host, port
 // keepAliveLoop periodically sends keep-alives on real connections, one
 // encode per round.
 func (s *Server) keepAliveLoop() {
-	t := time.NewTicker(s.cfg.KeepAliveEvery)
+	t := time.NewTicker(s.cfg.Net.KeepAliveEvery)
 	defer t.Stop()
 	for {
 		select {

@@ -49,11 +49,11 @@ func (r *pausableReader) run() {
 func TestStalledPeerDoesNotStallTick(t *testing.T) {
 	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
 	cfg := DefaultConfig(Vanilla)
-	cfg.ViewDistance = 2
-	cfg.SocketWriteBuffer = 4 << 10
-	cfg.WriteQueueBatches = 4
-	cfg.WriteQueueBytes = 32 << 10
-	cfg.WriteTimeout = 30 * time.Second // keep the stall alive: no deadline rescue
+	cfg.Net.ViewDistance = 2
+	cfg.Net.SocketWriteBuffer = 4 << 10
+	cfg.Net.WriteQueueBatches = 4
+	cfg.Net.WriteQueueBytes = 32 << 10
+	cfg.Net.WriteTimeout = 30 * time.Second // keep the stall alive: no deadline rescue
 	s := New(w, cfg, nil, env.RealClock{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -124,8 +124,8 @@ func TestStalledPeerDoesNotStallTick(t *testing.T) {
 func TestPeerFaultLadder(t *testing.T) {
 	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
 	cfg := DefaultConfig(Vanilla)
-	cfg.ViewDistance = 2
-	cfg.WriteTimeout = 500 * time.Millisecond
+	cfg.Net.ViewDistance = 2
+	cfg.Net.WriteTimeout = 500 * time.Millisecond
 	s := New(w, cfg, nil, env.RealClock{})
 	defer s.Stop()
 
@@ -138,7 +138,7 @@ func TestPeerFaultLadder(t *testing.T) {
 	// MaxBatches 2: one tick can enqueue a chunk-burst batch and the entity
 	// tick batch back to back; a healthy paced peer never needs more.
 	conn.StartWriter(protocol.WriterConfig{
-		MaxBatches: 2, MaxBytes: 1 << 20, WriteTimeout: cfg.WriteTimeout,
+		MaxBatches: 2, MaxBytes: 1 << 20, WriteTimeout: cfg.Net.WriteTimeout,
 	})
 	p := s.connect("ladder", conn)
 	r := &pausableReader{conn: protocol.NewConn(b)}
@@ -214,8 +214,8 @@ func TestPeerFaultLadder(t *testing.T) {
 func TestReadIdleTimeoutReapsSilentPeer(t *testing.T) {
 	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
 	cfg := DefaultConfig(Vanilla)
-	cfg.ViewDistance = 2
-	cfg.ReadIdleTimeout = 100 * time.Millisecond
+	cfg.Net.ViewDistance = 2
+	cfg.Net.ReadIdleTimeout = 100 * time.Millisecond
 	s := New(w, cfg, nil, env.RealClock{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -251,12 +251,14 @@ func TestReadIdleTimeoutReapsSilentPeer(t *testing.T) {
 func TestWriterDisconnectSnapshotRace(t *testing.T) {
 	w := world.New(&world.FlatGenerator{SurfaceY: 10, Surface: world.Grass})
 	cfg := DefaultConfig(Vanilla)
-	cfg.ViewDistance = 2
-	cfg.WriteTimeout = 50 * time.Millisecond
-	cfg.WriteQueueBatches = 2
-	cfg.WriteQueueBytes = 16 << 10
-	cfg.ReadIdleTimeout = 200 * time.Millisecond
-	s := New(w, cfg, nil, env.RealClock{})
+	cfg.Net.ViewDistance = 2
+	cfg.Net.WriteTimeout = 50 * time.Millisecond
+	cfg.Net.WriteQueueBatches = 2
+	cfg.Net.WriteQueueBytes = 16 << 10
+	cfg.Net.ReadIdleTimeout = 200 * time.Millisecond
+	var s *Server
+	cfg.Hooks.AfterTick = func(TickRecord) { s.Snapshot() }
+	s = New(w, cfg, nil, env.RealClock{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -266,7 +268,6 @@ func TestWriterDisconnectSnapshotRace(t *testing.T) {
 		s.EntityWorld().SpawnMob(world.Pos{X: i, Y: 11, Z: 6})
 	}
 	go s.Serve(ln)
-	s.OnAfterTick(func(TickRecord) { s.Snapshot() })
 	go s.Run()
 	defer func() { s.Stop(); ln.Close() }()
 

@@ -26,8 +26,8 @@ import (
 func newPersistRef(k workload.Kind, simWorkers int, igniteAfter int) *server.Server {
 	w := workload.NewWorld(k, world.PaperControlSeed)
 	cfg := server.DefaultConfig(server.Paper)
-	cfg.Seed = 1234
-	cfg.SimWorkers = simWorkers
+	cfg.Sim.Seed = 1234
+	cfg.Sim.Workers = simWorkers
 	m := env.NewMachine(env.DAS5SixteenCore, 1)
 	s := server.New(w, cfg, m, env.NewVirtualClock(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)))
 	spec := k.DefaultSpec()
@@ -52,8 +52,8 @@ func newPersistRef(k workload.Kind, simWorkers int, igniteAfter int) *server.Ser
 func newPersistBlank(k workload.Kind, simWorkers int) *server.Server {
 	w := workload.NewWorld(k, world.PaperControlSeed)
 	cfg := server.DefaultConfig(server.Paper)
-	cfg.Seed = 1234
-	cfg.SimWorkers = simWorkers
+	cfg.Sim.Seed = 1234
+	cfg.Sim.Workers = simWorkers
 	m := env.NewMachine(env.DAS5SixteenCore, 1)
 	return server.New(w, cfg, m, env.NewVirtualClock(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)))
 }

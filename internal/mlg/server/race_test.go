@@ -23,8 +23,8 @@ import (
 func TestParallelTickConcurrentAccessRace(t *testing.T) {
 	w := workload.NewWorld(workload.Lag, world.PaperControlSeed)
 	cfg := server.DefaultConfig(server.Vanilla)
-	cfg.Seed = 5
-	cfg.SimWorkers = 4
+	cfg.Sim.Seed = 5
+	cfg.Sim.Workers = 4
 	m := env.NewMachine(env.DAS5SixteenCore, 1)
 	s := server.New(w, cfg, m, env.NewVirtualClock(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)))
 	spec := workload.Lag.DefaultSpec()
@@ -113,8 +113,8 @@ func TestParallelTickConcurrentAccessRace(t *testing.T) {
 func TestParallelEntityTickConcurrentJoinRace(t *testing.T) {
 	w := workload.NewWorld(workload.TNT, world.PaperControlSeed)
 	cfg := server.DefaultConfig(server.Vanilla)
-	cfg.Seed = 7
-	cfg.SimWorkers = 4
+	cfg.Sim.Seed = 7
+	cfg.Sim.Workers = 4
 	m := env.NewMachine(env.DAS5SixteenCore, 1)
 	s := server.New(w, cfg, m, env.NewVirtualClock(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)))
 	spec := workload.TNT.DefaultSpec()

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/env"
 	"repro/internal/mlg/entity"
+	"repro/internal/mlg/persist"
 	"repro/internal/mlg/sim"
 	"repro/internal/mlg/world"
 	"repro/internal/protocol"
@@ -17,36 +18,22 @@ import (
 // TickBudget is the intended tick period: 50 ms, 20 Hz (§2.1).
 const TickBudget = 50 * time.Millisecond
 
-// Config configures a game server instance.
-type Config struct {
-	// Flavor selects the system under test (Vanilla, Forge, Paper).
-	Flavor Flavor
+// NetConfig groups the client-facing networking knobs: interest radius,
+// keep-alive cadence, and the peer-fault bounds of the async outbound path.
+type NetConfig struct {
 	// ViewDistance is the radius, in chunks, loaded and streamed around each
 	// player.
 	ViewDistance int
-	// Costs is the operation cost model used for virtual-time accounting.
-	Costs CostModel
-	// Seed seeds the simulation RNGs.
-	Seed int64
 	// ClientTimeout, when > 0, crashes the server if a single tick starves
 	// client connections longer than this (the Lag-on-AWS failure mode,
 	// §5.3). It is normally taken from the environment profile.
 	ClientTimeout time.Duration
 	// KeepAliveEvery is the keep-alive broadcast period (default 5 s).
 	KeepAliveEvery time.Duration
-	// SimWorkers is the per-tick simulation parallelism of both
-	// world-exclusive phases — the terrain drain (sim.Config.SimWorkers) and
-	// the entity tick (entity.Config.Workers) share the knob and the worker
-	// pool: 0 means GOMAXPROCS, 1 forces the legacy serial paths (the
-	// differential-testing baseline). Simulation output is worker-count
-	// independent — any value produces identical results (per-region
-	// decision streams; see internal/mlg/entity).
-	SimWorkers int
-
 	// WriteTimeout bounds each outbound socket write on a real connection's
 	// async writer; a peer that keeps a write stalled past it is
 	// disconnected on the next tick with its queued frames reclaimed. Zero
-	// disables the deadline (DefaultConfig: 5 s).
+	// disables the deadline (DefaultNetConfig: 5 s).
 	WriteTimeout time.Duration
 	// WriteQueueBatches and WriteQueueBytes bound a real connection's
 	// outbound writer queue (per-tick batches / total queued bytes). When
@@ -57,8 +44,8 @@ type Config struct {
 	WriteQueueBytes   int
 	// ReadIdleTimeout disconnects a real connection that sends nothing at
 	// all for this long — a silent peer otherwise leaks its read goroutine
-	// and player session forever. Zero disables (DefaultConfig: 90 s; bots
-	// answer keep-alives, so live clients always have traffic).
+	// and player session forever. Zero disables (DefaultNetConfig: 90 s;
+	// bots answer keep-alives, so live clients always have traffic).
 	ReadIdleTimeout time.Duration
 	// SocketWriteBuffer, when > 0, shrinks accepted TCP connections' kernel
 	// send buffers (SO_SNDBUF) so a stalled reader exerts backpressure
@@ -67,16 +54,115 @@ type Config struct {
 	SocketWriteBuffer int
 }
 
-// DefaultConfig returns a server configuration for the given flavor.
-func DefaultConfig(f Flavor) Config {
-	return Config{
-		Flavor:          f,
+// DefaultNetConfig returns the production networking defaults.
+func DefaultNetConfig() NetConfig {
+	return NetConfig{
 		ViewDistance:    5,
-		Costs:           DefaultCosts(),
-		Seed:            1,
 		KeepAliveEvery:  5 * time.Second,
 		WriteTimeout:    5 * time.Second,
 		ReadIdleTimeout: 90 * time.Second,
+	}
+}
+
+// SimConfig groups the simulation knobs: seeding, parallelism, and the
+// virtual-time cost model.
+type SimConfig struct {
+	// Seed seeds the simulation RNGs.
+	Seed int64
+	// Workers is the per-tick simulation parallelism of both
+	// world-exclusive phases — the terrain drain (sim.Config.SimWorkers) and
+	// the entity tick (entity.Config.Workers) share the knob and the worker
+	// pool: 0 means GOMAXPROCS, 1 forces the legacy serial paths (the
+	// differential-testing baseline). Simulation output is worker-count
+	// independent — any value produces identical results (per-region
+	// decision streams; see internal/mlg/entity).
+	Workers int
+	// Costs is the operation cost model used for virtual-time accounting.
+	Costs CostModel
+}
+
+// DefaultSimConfig returns the default simulation configuration.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{Seed: 1, Costs: DefaultCosts()}
+}
+
+// PersistConfig wires crash-safe persistence into the server. With a
+// non-nil Store the server owns a Snapshotter (reachable via
+// Server.Snapshotter()) and calls MaybeSnapshot at the tail of every Tick,
+// so all tick drivers — Run, the benchmark runners, the scenario harness —
+// get the same cadence without registering anything.
+type PersistConfig struct {
+	// Store receives the snapshots; nil disables persistence entirely.
+	Store *persist.Store
+	// Every is the snapshot cadence in ticks (<= 0 disables the periodic
+	// snapshots; Server.Snapshotter().Snapshot() still works).
+	Every int
+	// FullEvery makes every Nth snapshot full, the rest incremental
+	// (<= 1: every snapshot is full).
+	FullEvery int
+	// Sync writes snapshots on the tick goroutine instead of the
+	// background writer — deterministic tests and final-flush paths.
+	Sync bool
+}
+
+// ShardConfig places this server inside a sharded world deployment: a
+// cluster of servers each owning a static range of chunk columns (see
+// internal/shard). The zero value means unsharded — the server owns the
+// whole world.
+type ShardConfig struct {
+	// Count is the total number of shards in the cluster (0 or 1 =
+	// unsharded).
+	Count int
+	// Index is this server's shard index in [0, Count).
+	Index int
+	// Owns reports whether a chunk column belongs to this shard. When
+	// non-nil the terrain engine mutates only owned chunks (unowned state
+	// arrives as halo mirrors from the owning shard) and natural entity
+	// spawning is disabled (spawn decisions would otherwise depend on
+	// store-local RNG state, breaking shard-layout determinism).
+	Owns func(world.ChunkPos) bool
+}
+
+// Sharded reports whether the config describes a shard of a larger world.
+func (c ShardConfig) Sharded() bool { return c.Owns != nil }
+
+// Hooks are the server's observation points, set at construction. They
+// run on the tick goroutine.
+type Hooks struct {
+	// AfterTick runs after every completed Tick, between ticks — where
+	// periodic work that must see a quiescent server belongs.
+	AfterTick func(rec TickRecord)
+	// EntityDelivery observes every virtual entity state-update delivery
+	// decision: called once per (chunk update, interested player) pair the
+	// dissemination phase fans out, with the receiving player and the
+	// chunk the update batch belongs to. The scenario harness uses it to
+	// check interest-set correctness independently of the fan-out code.
+	EntityDelivery func(playerID int64, chunk world.ChunkPos)
+}
+
+// Config configures a game server instance.
+type Config struct {
+	// Flavor selects the system under test (Vanilla, Forge, Paper).
+	Flavor Flavor
+	// Net holds the client-facing networking knobs.
+	Net NetConfig
+	// Sim holds the simulation knobs.
+	Sim SimConfig
+	// Persist wires crash-safe persistence (zero value: disabled).
+	Persist PersistConfig
+	// Shard places the server in a sharded deployment (zero value:
+	// unsharded).
+	Shard ShardConfig
+	// Hooks are the construction-time observation points.
+	Hooks Hooks
+}
+
+// DefaultConfig returns a server configuration for the given flavor.
+func DefaultConfig(f Flavor) Config {
+	return Config{
+		Flavor: f,
+		Net:    DefaultNetConfig(),
+		Sim:    DefaultSimConfig(),
 	}
 }
 
@@ -231,12 +317,17 @@ type Server struct {
 	sendScratch sendBuffers
 
 	// deliverHook, when non-nil, observes per-player entity-update delivery
-	// decisions (see OnEntityDelivery). Tick goroutine only.
+	// decisions (Hooks.EntityDelivery). Tick goroutine only.
 	deliverHook func(playerID int64, chunk world.ChunkPos)
 
-	// afterTick, when non-nil, runs on the tick goroutine after each Run
-	// iteration — the snapshotter's cadence point (see OnAfterTick).
+	// afterTick, when non-nil, runs on the tick goroutine at the tail of
+	// every Tick (Hooks.AfterTick).
 	afterTick func(rec TickRecord)
+
+	// snap is the server-owned snapshotter, created when Config.Persist
+	// names a store; MaybeSnapshot runs at every Tick's tail, after the
+	// after-tick hook's cadence point. Nil when persistence is off.
+	snap *Snapshotter
 
 	// blockChanges collects this tick's terrain state updates for
 	// dissemination. The count (blockChangeCount) is always maintained for
@@ -305,14 +396,14 @@ func measuredSizes() frameSizes {
 // machine and clock. machine may be nil, in which case tick durations are
 // measured wall-clock time (real deployments); clock must not be nil.
 func New(w *world.World, cfg Config, machine *env.Machine, clock env.Clock) *Server {
-	if cfg.ViewDistance <= 0 {
-		cfg.ViewDistance = 5
+	if cfg.Net.ViewDistance <= 0 {
+		cfg.Net.ViewDistance = 5
 	}
-	if cfg.KeepAliveEvery <= 0 {
-		cfg.KeepAliveEvery = 5 * time.Second
+	if cfg.Net.KeepAliveEvery <= 0 {
+		cfg.Net.KeepAliveEvery = 5 * time.Second
 	}
-	if cfg.Costs == (CostModel{}) {
-		cfg.Costs = DefaultCosts()
+	if cfg.Sim.Costs == (CostModel{}) {
+		cfg.Sim.Costs = DefaultCosts()
 	}
 	s := &Server{
 		cfg:           cfg,
@@ -323,13 +414,30 @@ func New(w *world.World, cfg Config, machine *env.Machine, clock env.Clock) *Ser
 		chunkPayloads: make(map[world.ChunkPos]chunkPayload),
 		sizes:         measuredSizes(),
 		stopped:       make(chan struct{}),
+		afterTick:     cfg.Hooks.AfterTick,
+		deliverHook:   cfg.Hooks.EntityDelivery,
 	}
 	entCfg := cfg.Flavor.EntityConfig()
-	entCfg.Workers = cfg.SimWorkers
-	s.ents = entity.NewWorld(w, entCfg, cfg.Seed+1)
+	entCfg.Workers = cfg.Sim.Workers
 	simCfg := cfg.Flavor.SimConfig()
-	simCfg.SimWorkers = cfg.SimWorkers
-	s.engine = sim.New(w, s.ents, simCfg, cfg.Seed+2)
+	simCfg.SimWorkers = cfg.Sim.Workers
+	if cfg.Shard.Sharded() {
+		// A shard simulates only its owned chunk columns; unowned terrain
+		// arrives as halo mirrors from the owning shard. Natural spawning
+		// draws from store-local RNG state, which would differ per shard
+		// layout, so it is off — shard workloads place entities explicitly.
+		simCfg.Owns = cfg.Shard.Owns
+		entCfg.NaturalSpawning = false
+	}
+	s.ents = entity.NewWorld(w, entCfg, cfg.Sim.Seed+1)
+	s.engine = sim.New(w, s.ents, simCfg, cfg.Sim.Seed+2)
+	if cfg.Persist.Store != nil {
+		s.snap = NewSnapshotter(s, cfg.Persist.Store, SnapshotterConfig{
+			Every:     cfg.Persist.Every,
+			FullEvery: cfg.Persist.FullEvery,
+			Sync:      cfg.Persist.Sync,
+		})
+	}
 	// A real conn that appears mid-tick (realConns flips to >0 after some
 	// changes were already elided) receives only the rest of that tick's
 	// BlockChange packets. That loses nothing: a joining player's world
@@ -362,6 +470,11 @@ func (s *Server) World() *world.World { return s.w }
 // Config returns the server's configuration.
 func (s *Server) Config() Config { return s.cfg }
 
+// Hooks returns the hook set the server was constructed with.
+func (s *Server) Hooks() Hooks {
+	return Hooks{AfterTick: s.afterTick, EntityDelivery: s.deliverHook}
+}
+
 // SetSimWorkers reconfigures the per-tick simulation parallelism of both
 // world-exclusive phases between ticks: the terrain drain and the entity
 // tick switch schedulers on their next tick, exactly as if the server had
@@ -371,21 +484,14 @@ func (s *Server) Config() Config { return s.cfg }
 // and asserts exactly that. Call it only between ticks, from the goroutine
 // driving Tick.
 func (s *Server) SetSimWorkers(n int) {
-	s.cfg.SimWorkers = n
+	s.cfg.Sim.Workers = n
 	s.engine.SetWorkers(n)
 	s.ents.SetWorkers(n)
 }
 
-// OnEntityDelivery registers a test hook observing every virtual entity
-// state-update delivery decision: fn is called once per (chunk update,
-// interested player) pair the dissemination phase fans out, with the
-// receiving player and the chunk the update batch belongs to. The scenario
-// harness uses it to check interest-set correctness (every delivered
-// update's chunk lies within the receiver's view distance) independently of
-// the fan-out code. Tick-goroutine only; nil clears the hook.
-func (s *Server) OnEntityDelivery(fn func(playerID int64, chunk world.ChunkPos)) {
-	s.deliverHook = fn
-}
+// Snapshotter returns the server-owned snapshotter, or nil when the config
+// named no persistence store.
+func (s *Server) Snapshotter() *Snapshotter { return s.snap }
 
 // Engine returns the terrain-simulation engine (for workload installers).
 func (s *Server) Engine() *sim.Engine { return s.engine }
@@ -415,12 +521,13 @@ func (s *Server) connect(name string, conn *protocol.Conn) *Player {
 	}
 	// Load the view area (lazy generation work) and owe the player its
 	// chunks (serialization + send burst on the next tick).
-	s.w.EnsureArea(p.Pos.BlockPos(), s.cfg.ViewDistance)
+	vd := s.cfg.Net.ViewDistance
+	s.w.EnsureArea(p.Pos.BlockPos(), vd)
 	cc := world.ChunkPosAt(p.Pos.BlockPos())
-	side := 2*s.cfg.ViewDistance + 1
+	side := 2*vd + 1
 	p.pendingChunks = make([]world.ChunkPos, 0, side*side)
-	for dz := -s.cfg.ViewDistance; dz <= s.cfg.ViewDistance; dz++ {
-		for dx := -s.cfg.ViewDistance; dx <= s.cfg.ViewDistance; dx++ {
+	for dz := -vd; dz <= vd; dz++ {
+		for dx := -vd; dx <= vd; dx++ {
 			p.pendingChunks = append(p.pendingChunks,
 				world.ChunkPos{X: cc.X + int32(dx), Z: cc.Z + int32(dz)})
 		}
@@ -621,7 +728,7 @@ func (s *Server) Tick() TickRecord {
 	counts.chunksLoaded = s.w.ChunkCount()
 
 	// Convert work to tick duration.
-	work := s.cfg.Costs.Work(counts, s.cfg.Flavor)
+	work := s.cfg.Sim.Costs.Work(counts, s.cfg.Flavor)
 	var dur time.Duration
 	if s.machine != nil {
 		dur = s.machine.TickComputeTime(work)
@@ -653,10 +760,10 @@ func (s *Server) Tick() TickRecord {
 	// Client starvation: a tick longer than the client timeout drops every
 	// connection; the MLG cannot recover and stops (Lag-on-AWS, §5.3).
 	crashed := false
-	if s.cfg.ClientTimeout > 0 && waitBefore+dur > s.cfg.ClientTimeout && len(s.players) > 0 {
+	if s.cfg.Net.ClientTimeout > 0 && waitBefore+dur > s.cfg.Net.ClientTimeout && len(s.players) > 0 {
 		s.crashed = true
 		s.crashReason = fmt.Sprintf("tick %d lasted %v > client timeout %v: all player connections timed out",
-			s.tick, waitBefore+dur, s.cfg.ClientTimeout)
+			s.tick, waitBefore+dur, s.cfg.Net.ClientTimeout)
 		crashed = true
 		for _, pid := range append([]int64(nil), s.order...) {
 			s.removeLocked(pid)
@@ -703,6 +810,18 @@ func (s *Server) Tick() TickRecord {
 	}
 	s.records = append(s.records, rec)
 	s.mu.Unlock()
+
+	// Tick tail: the after-tick hook and the snapshot cadence point run here
+	// — between ticks from every driver's perspective (Run, the benchmark
+	// runners, and the scenario harness all call Tick in a loop), so
+	// periodic work needing a quiescent server no longer depends on which
+	// loop drives the server.
+	if s.afterTick != nil {
+		s.afterTick(rec)
+	}
+	if s.snap != nil {
+		s.snap.MaybeSnapshot(rec.Tick)
+	}
 	return rec
 }
 
@@ -792,7 +911,7 @@ func (s *Server) handlePacket(in inbound, counts *tickCounts) {
 		if s.cfg.Flavor.AsyncChat {
 			// Paper: chat never touches the game tick; the echo is ready a
 			// fixed async-processing delay after arrival.
-			delay := time.Duration(s.cfg.Costs.AsyncChatUS) * time.Microsecond
+			delay := time.Duration(s.cfg.Sim.Costs.AsyncChatUS) * time.Microsecond
 			s.mu.Lock()
 			s.chatEchoes = append(s.chatEchoes, ChatEcho{
 				PlayerID: in.playerID, SentUnixNano: pkt.SentUnixNano,
@@ -859,7 +978,7 @@ func (s *Server) disseminate(counts *tickCounts) {
 		for i, p := range players {
 			playerChunks[i] = world.ChunkPosAt(p.Pos.BlockPos())
 		}
-		vd := int32(s.cfg.ViewDistance)
+		vd := int32(s.cfg.Net.ViewDistance)
 		var moved, spawned, despawned int
 		for _, u := range updates {
 			interested := 0
@@ -890,8 +1009,8 @@ func (s *Server) disseminate(counts *tickCounts) {
 	addMsgs(nPlayers, s.sizes.worldStream, false)
 
 	// Keep-alives.
-	if s.cfg.KeepAliveEvery > 0 {
-		every := int64(s.cfg.KeepAliveEvery / TickBudget)
+	if s.cfg.Net.KeepAliveEvery > 0 {
+		every := int64(s.cfg.Net.KeepAliveEvery / TickBudget)
 		if every < 1 {
 			every = 1
 		}

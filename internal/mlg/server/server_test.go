@@ -254,7 +254,7 @@ func TestClientTimeoutCrash(t *testing.T) {
 	clock := testClock()
 	m := env.NewMachine(env.DAS5TwoCore, 7)
 	cfg := DefaultConfig(Vanilla)
-	cfg.ClientTimeout = time.Microsecond // everything times out
+	cfg.Net.ClientTimeout = time.Microsecond // everything times out
 	s := New(w, cfg, m, clock)
 	s.Connect("alice")
 	rec := s.Tick()
@@ -275,7 +275,7 @@ func TestNoCrashWithoutPlayers(t *testing.T) {
 	clock := testClock()
 	m := env.NewMachine(env.DAS5TwoCore, 7)
 	cfg := DefaultConfig(Vanilla)
-	cfg.ClientTimeout = time.Microsecond
+	cfg.Net.ClientTimeout = time.Microsecond
 	s := New(w, cfg, m, clock)
 	if rec := s.Tick(); rec.Crashed {
 		t.Fatal("crash without connected players")

@@ -44,7 +44,7 @@ func newBenchServer(f server.Flavor, w *world.World) *server.Server {
 func newBenchServerWorkers(f server.Flavor, w *world.World, simWorkers int) *server.Server {
 	m := env.NewMachine(env.DAS5SixteenCore, 1)
 	cfg := server.DefaultConfig(f)
-	cfg.SimWorkers = simWorkers
+	cfg.Sim.Workers = simWorkers
 	return server.New(w, cfg, m, benchClock())
 }
 

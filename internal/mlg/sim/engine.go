@@ -101,6 +101,17 @@ type Config struct {
 	// the reconstructed serial order and falls back to the serial path when
 	// a tick cannot be proven independent.
 	SimWorkers int
+	// Owns, when non-nil, is the shard-mode ownership filter: the engine
+	// simulates only chunks for which it returns true. Updates targeting
+	// unowned chunks are never enqueued, spawners/hoppers in unowned chunks
+	// never fire, unowned chunks take no random ticks, and explosions do not
+	// destroy unowned blocks (the blast volume is still scanned, so scan
+	// counters sum across shards to the single-shard value). Every draw the
+	// simulation makes is keyed by position and tick (streams.go), so the
+	// owned subset evolves bit-identically to the same chunks in a
+	// single-shard run as long as no cascade crosses an ownership boundary.
+	// nil owns everything (the single-process default).
+	Owns func(world.ChunkPos) bool
 }
 
 // DefaultConfig returns vanilla-like settings.
@@ -232,11 +243,11 @@ type exec struct {
 	wireSeen map[world.Pos]int64
 	// rng is the context's random stream. The root context aliases the
 	// engine RNG. Region contexts derive a stream from the world seed and
-	// region key (world.RegionSeed) lazily via rand(); no current drain rule
-	// draws randomness, and any future rule that does must consume the
-	// region stream on BOTH paths or force the serial fallback — drawing
-	// from the shared engine RNG inside a region would make consumption
-	// order depend on worker scheduling.
+	// region key (world.RegionSeed) lazily via rand(); no current rule draws
+	// from it — every remaining draw is keyed by position and tick
+	// (streams.go) so values are shard-layout and schedule independent — and
+	// any future rule that draws here must consume the region stream on BOTH
+	// paths or force the serial fallback.
 	rng    *rand.Rand
 	region *regionRun // nil for the engine's root (serial) context
 }
@@ -337,6 +348,17 @@ func (e *Engine) SetWorkers(n int) {
 	e.serialHold = 0
 }
 
+// owns reports whether the engine owns the chunk containing p (shard-mode
+// ownership filter; always true without a Config.Owns predicate).
+func (e *Engine) owns(p world.Pos) bool {
+	return e.cfg.Owns == nil || e.cfg.Owns(world.ChunkPosAt(p))
+}
+
+// ownsChunk is owns for an already-resolved chunk column.
+func (e *Engine) ownsChunk(cp world.ChunkPos) bool {
+	return e.cfg.Owns == nil || e.cfg.Owns(cp)
+}
+
 // onBlockChange queues neighbour updates for every terrain mutation — the
 // "terrain simulation is driven by terrain state updates" loop of §2.3.
 func (e *Engine) onBlockChange(p world.Pos, old, new world.Block) {
@@ -388,6 +410,9 @@ func (x *exec) queueNeighbors(p world.Pos) {
 }
 
 func (x *exec) enqueue(u scheduledUpdate) {
+	if !x.e.owns(u.pos) {
+		return
+	}
 	b, loaded := x.wc.BlockIfLoaded(u.pos)
 	if !loaded {
 		return
@@ -404,6 +429,9 @@ func (x *exec) notifyObservers(changed world.Pos) {
 	for _, d := range []world.Direction{world.DirUp, world.DirDown, world.DirNorth,
 		world.DirSouth, world.DirEast, world.DirWest} {
 		op := d.Move(changed)
+		if !x.e.owns(op) {
+			continue
+		}
 		b, loaded := x.wc.BlockIfLoaded(op)
 		if !loaded || b.ID != world.Observer {
 			continue
@@ -429,6 +457,9 @@ func (x *exec) schedule(p world.Pos, delayTicks int, kind updateKind) {
 // engine's schedule in the reconstructed serial order, so next-tick
 // processing order matches the serial drain exactly.
 func (x *exec) scheduleVal(p world.Pos, delayTicks int, kind updateKind, val uint8) {
+	if !x.e.owns(p) {
+		return
+	}
 	due := x.e.tick + int64(delayTicks)
 	if due <= x.e.tick {
 		due = x.e.tick + 1
@@ -608,6 +639,9 @@ func (e *Engine) tickSpawners() {
 		interval = 40
 	}
 	for _, p := range e.sortedSpawners() {
+		if !e.owns(p) {
+			continue
+		}
 		// Offset by position hash so spawners do not fire in lockstep. The
 		// offset is kept even-aligned because this method only runs on
 		// redstone ticks.
@@ -627,6 +661,9 @@ func (e *Engine) tickSpawners() {
 // tick, approximating the 4-game-tick hopper cooldown).
 func (e *Engine) tickHoppers() {
 	for _, p := range e.sortedHoppers() {
+		if !e.owns(p) {
+			continue
+		}
 		e.counters.BlockUpdates++
 		n := e.ents.CollectItems(p.Up(), 1.2)
 		e.ItemsCollected += int64(n)
@@ -673,22 +710,27 @@ func sortedPositions(set map[world.Pos]struct{}) []world.Pos {
 // applies growth rules to them. Sampling reads straight off each chunk
 // (LoadedChunkRefs) — with thousands of loaded chunks this pass would
 // otherwise pay a world-lock acquisition and chunk-map lookup per sample.
-// It always runs on the root context: the samples consume the engine RNG in
-// loaded-chunk order, a serial dependency chain by construction.
+// Each chunk's samples come from its own per-tick stream (streams.go), so a
+// chunk's growth is a pure function of (seed, chunk, tick): shards skipping
+// unowned chunks leave the owned chunks' sequences untouched.
 func (e *Engine) randomTicks() {
 	rate := e.cfg.RandomTickRate
 	if rate <= 0 {
 		return
 	}
 	for _, c := range e.w.LoadedChunkRefs() {
+		if !e.ownsChunk(c.Pos) {
+			continue
+		}
 		origin := c.Pos.Origin()
+		st := chunkStream(e.seed, c.Pos, e.tick)
 		for i := 0; i < rate; i++ {
 			e.counters.RandomTicks++
-			lx := e.rng.Intn(world.ChunkSize)
-			y := e.rng.Intn(world.Height)
-			lz := e.rng.Intn(world.ChunkSize)
+			lx := st.Intn(world.ChunkSize)
+			y := st.Intn(world.Height)
+			lz := st.Intn(world.ChunkSize)
 			p := world.Pos{X: origin.X + lx, Y: y, Z: origin.Z + lz}
-			e.root.applyGrowth(p, c.At(lx, y, lz))
+			e.root.applyGrowth(p, c.At(lx, y, lz), &st)
 		}
 	}
 }

@@ -38,6 +38,12 @@ func (e *Engine) Explode(p world.Pos, radius float64) (int, Counters) {
 				}
 				e.counters.ExplosionScan++
 				q := p.Add(dx, dy, dz)
+				// Unowned blocks are scanned but not destroyed (shard mode):
+				// scan counters sum across shards to the single-shard value,
+				// and a shard never mutates a chunk it does not own.
+				if !e.owns(q) {
+					continue
+				}
 				b, loaded := e.wc.BlockIfLoaded(q)
 				if !loaded || b.IsAir() || blastResistant(b.ID) {
 					continue
@@ -46,14 +52,18 @@ func (e *Engine) Explode(p world.Pos, radius float64) (int, Counters) {
 				e.counters.BlockRemoves++
 				destroyed++
 				e.w.SetBlock(q, world.B(world.Air))
+				// Fuse and drop rolls come from the destroyed block's own
+				// per-tick stream (streams.go), so chain spread is independent
+				// of detonation order and shard layout.
+				st := blockStream(e.seed, q, e.tick)
 				switch {
 				case b.ID == world.TNT:
 					// Chain ignition with a randomized fuse up to three
 					// seconds; the spread keeps the chain burning for tens of
 					// seconds (as in the community videos the paper cites)
 					// instead of detonating the whole cuboid at once.
-					e.ents.SpawnPrimedTNT(q, 2+e.rng.Intn(88))
-				case e.rng.Float64() < e.cfg.ItemDropChance:
+					e.ents.SpawnPrimedTNT(q, 2+st.Intn(88))
+				case st.Float64() < e.cfg.ItemDropChance:
 					e.ents.SpawnItem(q, b.ID)
 				}
 			}
@@ -113,6 +123,9 @@ func (e *Engine) MergedExplosions(centers []world.Pos, radius float64) (int, Cou
 					}
 					seen[q] = struct{}{}
 					e.counters.ExplosionScan++
+					if !e.owns(q) {
+						continue
+					}
 					b, loaded := e.wc.BlockIfLoaded(q)
 					if !loaded || b.IsAir() || blastResistant(b.ID) {
 						continue
@@ -121,10 +134,11 @@ func (e *Engine) MergedExplosions(centers []world.Pos, radius float64) (int, Cou
 					e.counters.BlockRemoves++
 					destroyed++
 					e.w.SetBlock(q, world.B(world.Air))
+					st := blockStream(e.seed, q, e.tick)
 					switch {
 					case b.ID == world.TNT:
-						e.ents.SpawnPrimedTNT(q, 2+e.rng.Intn(88))
-					case e.rng.Float64() < e.cfg.ItemDropChance:
+						e.ents.SpawnPrimedTNT(q, 2+st.Intn(88))
+					case st.Float64() < e.cfg.ItemDropChance:
 						e.ents.SpawnItem(q, b.ID)
 					}
 				}

@@ -199,8 +199,10 @@ func (x *exec) applyFluid(p world.Pos, b world.Block) {
 }
 
 // applyGrowth advances plant growth for random-ticked blocks (§2.2.2:
-// "plants and trees change over time, reshaping the nearby terrain").
-func (x *exec) applyGrowth(p world.Pos, b world.Block) {
+// "plants and trees change over time, reshaping the nearby terrain"). st is
+// the sampling chunk's per-tick stream; growth rolls draw from it so their
+// values are pure functions of (seed, chunk, tick, draw index).
+func (x *exec) applyGrowth(p world.Pos, b world.Block, st *posStream) {
 	switch b.ID {
 	case world.Wheat:
 		if b.Meta < 7 {
@@ -221,7 +223,7 @@ func (x *exec) applyGrowth(p world.Pos, b world.Block) {
 		}
 	case world.Sapling:
 		// Saplings rarely grow into a small tree.
-		if x.rand().Intn(32) != 0 {
+		if st.Intn(32) != 0 {
 			return
 		}
 		x.counters.GrowthOps++

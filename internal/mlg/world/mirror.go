@@ -1,0 +1,20 @@
+package world
+
+// Halo mirroring: a shard applies terrain it does not own — received from
+// the owning shard as an RLE chunk image — without simulating it. Mirrored
+// chunks are read-only context for physics and pathfinding near a shard
+// boundary; the owner remains the single writer, so mirror application
+// bypasses change listeners and mutation accounting entirely.
+
+// ApplyMirror replaces the chunk at cp with the RLE-encoded image in data
+// (Chunk.AppendRLE format). The chunk is generated first if it was never
+// loaded. Unlike SetBlock, no change listeners fire and no mutation stats
+// accrue: the chunk's content is authoritative on another shard and this
+// world is only keeping a consistent halo copy.
+func (w *World) ApplyMirror(cp ChunkPos, data []byte) error {
+	w.mu.Lock()
+	c := w.chunkLocked(cp)
+	err := c.DecodeRLE(data)
+	w.mu.Unlock()
+	return err
+}

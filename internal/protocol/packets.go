@@ -563,6 +563,16 @@ func New(id PacketID) (Packet, error) {
 		return &EntityMoveRel{}, nil
 	case IDWorldStream:
 		return &WorldStream{}, nil
+	case IDShardHello:
+		return &ShardHello{}, nil
+	case IDChunkMirror:
+		return &ChunkMirror{}, nil
+	case IDEntityHandoff:
+		return &EntityHandoff{}, nil
+	case IDShardBarrier:
+		return &ShardBarrier{}, nil
+	case IDEntityMirror:
+		return &EntityMirror{}, nil
 	default:
 		return nil, fmt.Errorf("protocol: unknown packet id %#x", int32(id))
 	}

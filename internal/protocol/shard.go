@@ -1,0 +1,205 @@
+package protocol
+
+// Inter-shard packets. A sharded deployment splits the world into disjoint
+// chunk ranges, one server process per range; the shards keep each other
+// consistent over the same varint-framed codec the players use, so the
+// transport (frame reader, batched async writers, backlog shedding) is
+// shared code. IDs start at 0x11, above the client-facing range.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Inter-shard packet IDs.
+const (
+	IDShardHello    PacketID = 0x11 // shard → shard: session handshake
+	IDChunkMirror   PacketID = 0x12 // owner → neighbour: halo chunk image
+	IDEntityHandoff PacketID = 0x13 // owner → new owner: migrating entity
+	IDShardBarrier  PacketID = 0x14 // shard → shard: end-of-tick marker
+	IDEntityMirror  PacketID = 0x15 // owner → neighbour: halo entity ghost
+)
+
+// ShardHello opens an inter-shard session: each side announces its shard
+// index and the cluster size so misconfigured peers fail fast.
+type ShardHello struct {
+	Shard  int32
+	Shards int32
+	Tick   int64
+}
+
+func (*ShardHello) ID() PacketID { return IDShardHello }
+func (p *ShardHello) MarshalBody(dst []byte) []byte {
+	dst = appendI32(dst, p.Shard)
+	dst = appendI32(dst, p.Shards)
+	return appendI64(dst, p.Tick)
+}
+func (p *ShardHello) UnmarshalBody(src []byte) error {
+	var err error
+	if p.Shard, src, err = readI32(src); err != nil {
+		return err
+	}
+	if p.Shards, src, err = readI32(src); err != nil {
+		return err
+	}
+	p.Tick, _, err = readI64(src)
+	return err
+}
+
+// ChunkMirror carries one boundary chunk's full RLE image from its owner to
+// a neighbouring shard's halo copy. Sent only for chunks whose content
+// changed since the last mirror, so steady-state boundary traffic is small.
+type ChunkMirror struct {
+	ChunkX, ChunkZ int32
+	Data           []byte
+}
+
+func (*ChunkMirror) ID() PacketID { return IDChunkMirror }
+func (p *ChunkMirror) MarshalBody(dst []byte) []byte {
+	dst = appendI32(dst, p.ChunkX)
+	dst = appendI32(dst, p.ChunkZ)
+	dst = AppendVarint(dst, int32(len(p.Data)))
+	return append(dst, p.Data...)
+}
+func (p *ChunkMirror) UnmarshalBody(src []byte) error {
+	var err error
+	if p.ChunkX, src, err = readI32(src); err != nil {
+		return err
+	}
+	if p.ChunkZ, src, err = readI32(src); err != nil {
+		return err
+	}
+	n, rest, err := readVarintBytes(src)
+	if err != nil {
+		return err
+	}
+	if n < 0 || int(n) > len(rest) {
+		return fmt.Errorf("protocol: chunk mirror length %d exceeds buffer", n)
+	}
+	p.Data = append([]byte(nil), rest[:n]...)
+	return nil
+}
+
+// EntityHandoff migrates one entity to the shard owning its new chunk. The
+// fields mirror entity.Handoff: everything the receiving store needs to
+// continue the entity bit-identically, keyed by its spawn identity rather
+// than any store-local ID.
+type EntityHandoff struct {
+	Kind           uint8
+	X, Y, Z        float64
+	VX, VY, VZ     float64
+	OnGround       bool
+	Age            int32
+	ItemType       uint8
+	Fuse           int32
+	SeedKey        uint64
+	WanderCooldown int32
+}
+
+func (*EntityHandoff) ID() PacketID { return IDEntityHandoff }
+func (p *EntityHandoff) MarshalBody(dst []byte) []byte {
+	dst = append(dst, p.Kind)
+	for _, f := range [6]float64{p.X, p.Y, p.Z, p.VX, p.VY, p.VZ} {
+		dst = appendF64(dst, f)
+	}
+	if p.OnGround {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendI32(dst, p.Age)
+	dst = append(dst, p.ItemType)
+	dst = appendI32(dst, p.Fuse)
+	dst = binary.BigEndian.AppendUint64(dst, p.SeedKey)
+	return appendI32(dst, p.WanderCooldown)
+}
+func (p *EntityHandoff) UnmarshalBody(src []byte) error {
+	var err error
+	if p.Kind, src, err = readU8(src); err != nil {
+		return err
+	}
+	fs := [6]*float64{&p.X, &p.Y, &p.Z, &p.VX, &p.VY, &p.VZ}
+	for _, f := range fs {
+		if *f, src, err = readF64(src); err != nil {
+			return err
+		}
+	}
+	var og byte
+	if og, src, err = readU8(src); err != nil {
+		return err
+	}
+	p.OnGround = og != 0
+	if p.Age, src, err = readI32(src); err != nil {
+		return err
+	}
+	if p.ItemType, src, err = readU8(src); err != nil {
+		return err
+	}
+	if p.Fuse, src, err = readI32(src); err != nil {
+		return err
+	}
+	if len(src) < 8 {
+		return fmt.Errorf("protocol: entity handoff truncated")
+	}
+	p.SeedKey = binary.BigEndian.Uint64(src)
+	p.WanderCooldown, _, err = readI32(src[8:])
+	return err
+}
+
+// EntityMirror is a halo entity ghost: the position of one live entity
+// standing in an owned chunk within HaloWidth of a shard boundary, resent
+// every tick. Ghosts exist for visibility only — clients near the boundary
+// see entities across it — and are never simulated by the receiving shard,
+// which keeps the determinism contract intact (only the owner draws the
+// entity's decision streams).
+type EntityMirror struct {
+	Kind    uint8
+	X, Y, Z float64
+}
+
+func (*EntityMirror) ID() PacketID { return IDEntityMirror }
+func (p *EntityMirror) MarshalBody(dst []byte) []byte {
+	dst = append(dst, p.Kind)
+	dst = appendF64(dst, p.X)
+	dst = appendF64(dst, p.Y)
+	return appendF64(dst, p.Z)
+}
+func (p *EntityMirror) UnmarshalBody(src []byte) error {
+	var err error
+	if p.Kind, src, err = readU8(src); err != nil {
+		return err
+	}
+	if p.X, src, err = readF64(src); err != nil {
+		return err
+	}
+	if p.Y, src, err = readF64(src); err != nil {
+		return err
+	}
+	p.Z, _, err = readF64(src)
+	return err
+}
+
+// ShardBarrier marks the end of a shard's outbound traffic for one tick:
+// after the barrier for tick T, the peer has every mirror and handoff T
+// produced and may start its own tick T+1. The lockstep cluster driver uses
+// it to sequence shards deterministically.
+type ShardBarrier struct {
+	Tick int64
+	// Handoffs is the number of EntityHandoff packets preceding this
+	// barrier, a cheap integrity check on the session stream.
+	Handoffs int32
+}
+
+func (*ShardBarrier) ID() PacketID { return IDShardBarrier }
+func (p *ShardBarrier) MarshalBody(dst []byte) []byte {
+	dst = appendI64(dst, p.Tick)
+	return appendI32(dst, p.Handoffs)
+}
+func (p *ShardBarrier) UnmarshalBody(src []byte) error {
+	var err error
+	if p.Tick, src, err = readI64(src); err != nil {
+		return err
+	}
+	p.Handoffs, _, err = readI32(src)
+	return err
+}

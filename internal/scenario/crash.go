@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/mlg/persist"
 	"repro/internal/mlg/server"
-	"repro/internal/mlg/world"
 )
 
 // Crash-and-restart steps: the persistence layer under the model checker.
@@ -133,10 +132,9 @@ func (tw *Twin) CrashRestart(mode CrashMode) error {
 	}
 
 	tw.S, tw.Clock = s, clock
-	tw.S.OnEntityDelivery(func(pid int64, c world.ChunkPos) {
-		tw.deliveries = append(tw.deliveries, delivery{player: pid, chunk: c})
-	})
 	tw.snap = server.NewSnapshotter(s, tw.store, tw.snapCfg)
+	// The rebuilt server inherited the twin's delivery hook through its
+	// construction-time config; drop anything the replay ticks recorded.
 	tw.deliveries = tw.deliveries[:0]
 
 	// Scenario-connected players survive in the snapshot; recover their IDs

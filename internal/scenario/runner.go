@@ -88,13 +88,18 @@ func Run(sc *Scenario, opts Options) *Result {
 	}
 
 	// mkServer builds one bare twin server — also how a Crash step stands up
-	// the replacement process image before restoring its snapshot.
-	mkServer := func(n int) (*server.Server, env.Clock) {
+	// the replacement process image before restoring its snapshot. The
+	// delivery hook is part of the construction-time config, so a rebuilt
+	// server observes deliveries into the same twin without re-registration.
+	mkServer := func(tw *Twin, n int) (*server.Server, env.Clock) {
 		w := workload.NewWorld(sc.Workload, world.PaperControlSeed)
 		cfg := server.DefaultConfig(sc.Flavor)
-		cfg.Seed = sc.Seed
-		cfg.SimWorkers = n
-		cfg.ClientTimeout = sc.ClientTimeout
+		cfg.Sim.Seed = sc.Seed
+		cfg.Sim.Workers = n
+		cfg.Net.ClientTimeout = sc.ClientTimeout
+		cfg.Hooks.EntityDelivery = func(pid int64, c world.ChunkPos) {
+			tw.deliveries = append(tw.deliveries, delivery{player: pid, chunk: c})
+		}
 		clock := env.NewVirtualClock(time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC))
 		return server.New(w, cfg, env.NewMachine(profile, opts.MachineSeed), clock), clock
 	}
@@ -103,8 +108,8 @@ func Run(sc *Scenario, opts Options) *Result {
 	for i, n := range workers {
 		tw := &Twin{Index: i, Workers: n, allWorkers: workers,
 			prevChunks: map[world.ChunkPos]world.ChunkState{}}
-		tw.S, tw.Clock = mkServer(n)
-		tw.rebuild = mkServer
+		tw.S, tw.Clock = mkServer(tw, n)
+		tw.rebuild = func(n int) (*server.Server, env.Clock) { return mkServer(tw, n) }
 		if sc.SnapshotEvery > 0 {
 			dir, err := os.MkdirTemp("", "scenario-snap-")
 			if err != nil {
@@ -139,9 +144,6 @@ func Run(sc *Scenario, opts Options) *Result {
 		if sc.IgniteAfterTicks > 0 {
 			workload.Arm(tw.S, spec)
 		}
-		tw.S.OnEntityDelivery(func(pid int64, c world.ChunkPos) {
-			tw.deliveries = append(tw.deliveries, delivery{player: pid, chunk: c})
-		})
 		twins[i] = tw
 	}
 
@@ -310,7 +312,7 @@ func diffRecords(a, b *server.TickRecord) string {
 // rather than trusting the server's own interest test.
 func (tw *Twin) checkInterest() string {
 	defer func() { tw.deliveries = tw.deliveries[:0] }()
-	vd := tw.S.Config().ViewDistance
+	vd := tw.S.Config().Net.ViewDistance
 	for _, d := range tw.deliveries {
 		p := tw.S.PlayerByID(d.player)
 		if p == nil {

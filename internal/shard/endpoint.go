@@ -1,0 +1,223 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mlg/entity"
+	"repro/internal/mlg/server"
+	"repro/internal/mlg/world"
+	"repro/internal/protocol"
+)
+
+// Endpoint is one shard's half of the inter-shard exchange: after every
+// local tick it drains departing entities toward their new owners, mirrors
+// changed boundary chunks and halo entity ghosts to its neighbours, and
+// applies the symmetric traffic its peers produced. The exchange is split
+// into a send phase and an apply phase so a lockstep driver (or the
+// after-tick hook of a wall-clock shard) can fan all sends out before any
+// shard blocks on a barrier — sends are async, so the two-phase shape is
+// deadlock-free whatever the shard order.
+type Endpoint struct {
+	S     *server.Server
+	Map   Map
+	Index int
+
+	sessions map[int]*Session
+	// lastMirror remembers, per peer, the content fingerprint of each
+	// boundary chunk as last mirrored; unchanged chunks are not resent.
+	lastMirror map[int]map[world.ChunkPos]uint64
+	// ghosts holds the halo entity mirrors most recently received from
+	// each peer — display-only state, never simulated.
+	ghosts  map[int][]protocol.EntityMirror
+	scratch []byte
+}
+
+// NewEndpoint wraps a shard server for inter-shard exchange. Sessions are
+// attached afterwards with SetSession as links come up.
+func NewEndpoint(s *server.Server, m Map, index int) *Endpoint {
+	return &Endpoint{
+		S:          s,
+		Map:        m,
+		Index:      index,
+		sessions:   make(map[int]*Session),
+		lastMirror: make(map[int]map[world.ChunkPos]uint64),
+		ghosts:     make(map[int][]protocol.EntityMirror),
+	}
+}
+
+// SetSession attaches (or replaces) the link to a peer shard and forgets
+// what was mirrored over the previous link, so a restored peer receives a
+// full boundary resync on the next tick.
+func (ep *Endpoint) SetSession(peer int, sess *Session) {
+	ep.sessions[peer] = sess
+	ep.lastMirror[peer] = nil
+}
+
+// DropSession detaches a dead peer: the exchange skips it until failover
+// hands back a replacement via SetSession.
+func (ep *Endpoint) DropSession(peer int) {
+	if sess := ep.sessions[peer]; sess != nil {
+		sess.Close()
+	}
+	delete(ep.sessions, peer)
+	delete(ep.ghosts, peer)
+}
+
+// Peers returns the attached peer indices in ascending order.
+func (ep *Endpoint) Peers() []int {
+	peers := make([]int, 0, len(ep.sessions))
+	for p := range ep.sessions {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	return peers
+}
+
+// Ghosts returns the halo entity mirrors last received from peer shards —
+// entities standing just across a boundary, for client visibility only.
+func (ep *Endpoint) Ghosts() []protocol.EntityMirror {
+	var out []protocol.EntityMirror
+	for _, p := range ep.Peers() {
+		out = append(out, ep.ghosts[p]...)
+	}
+	return out
+}
+
+// SendTick runs the shard's outbound half for the tick that just finished:
+// departure sweep, boundary chunk mirrors, halo ghosts, barrier. Handoffs
+// whose destination link is down are re-inserted locally rather than lost —
+// the entity freezes at the boundary until failover restores the peer.
+func (ep *Endpoint) SendTick(tick int64) error {
+	ents := ep.S.EntityWorld()
+	outbound := make(map[int][]protocol.Packet)
+
+	for _, h := range ents.DrainDepartures(ep.Map.Owns(ep.Index)) {
+		dest := ep.Map.ShardOfBlock(h.Pos.BlockPos())
+		if dest == ep.Index || ep.sessions[dest] == nil {
+			ents.Arrive(h)
+			continue
+		}
+		outbound[dest] = append(outbound[dest], &protocol.EntityHandoff{
+			Kind: uint8(h.Kind),
+			X:    h.Pos.X, Y: h.Pos.Y, Z: h.Pos.Z,
+			VX: h.Vel.X, VY: h.Vel.Y, VZ: h.Vel.Z,
+			OnGround:       h.OnGround,
+			Age:            int32(h.Age),
+			ItemType:       uint8(h.ItemType),
+			Fuse:           int32(h.Fuse),
+			SeedKey:        h.SeedKey,
+			WanderCooldown: int32(h.WanderCooldown),
+		})
+	}
+
+	w := ep.S.World()
+	for _, cp := range w.LoadedChunks() {
+		if ep.Map.ShardOf(cp) != ep.Index {
+			continue
+		}
+		peers := ep.Map.HaloPeers(ep.Index, cp)
+		if len(peers) == 0 {
+			continue
+		}
+		c := w.ChunkIfLoaded(cp)
+		if c == nil {
+			continue
+		}
+		var sum uint64
+		sum, ep.scratch = c.StateSum(ep.scratch)
+		var rle []byte
+		for _, peer := range peers {
+			if ep.sessions[peer] == nil {
+				continue
+			}
+			if ep.lastMirror[peer] == nil {
+				ep.lastMirror[peer] = make(map[world.ChunkPos]uint64)
+			}
+			if ep.lastMirror[peer][cp] == sum {
+				continue
+			}
+			if rle == nil {
+				rle = c.AppendRLE(nil)
+			}
+			ep.lastMirror[peer][cp] = sum
+			outbound[peer] = append(outbound[peer], &protocol.ChunkMirror{
+				ChunkX: cp.X, ChunkZ: cp.Z, Data: rle,
+			})
+		}
+	}
+
+	ents.Entities(func(e *entity.Entity) {
+		cp := world.ChunkPosAt(e.Pos.BlockPos())
+		for _, peer := range ep.Map.HaloPeers(ep.Index, cp) {
+			if ep.sessions[peer] == nil {
+				continue
+			}
+			outbound[peer] = append(outbound[peer], &protocol.EntityMirror{
+				Kind: uint8(e.Kind), X: e.Pos.X, Y: e.Pos.Y, Z: e.Pos.Z,
+			})
+		}
+	})
+
+	for _, peer := range ep.Peers() {
+		if err := ep.sessions[peer].Send(tick, outbound[peer]); err != nil {
+			return fmt.Errorf("shard %d → %d: %w", ep.Index, peer, err)
+		}
+	}
+	return nil
+}
+
+// ApplyTick blocks until every attached peer has delivered its barrier for
+// the tick, then applies the traffic in ascending peer order: chunk mirrors
+// into the halo copies, handoffs into the entity store, ghosts into the
+// display set. Deterministic given deterministic peers.
+func (ep *Endpoint) ApplyTick(tick int64) error {
+	ents := ep.S.EntityWorld()
+	w := ep.S.World()
+	for _, peer := range ep.Peers() {
+		pkts, err := ep.sessions[peer].WaitBarrier(tick)
+		if err != nil {
+			return fmt.Errorf("shard %d ← %d: %w", ep.Index, peer, err)
+		}
+		var ghosts []protocol.EntityMirror
+		for _, p := range pkts {
+			switch p := p.(type) {
+			case *protocol.ChunkMirror:
+				cp := world.ChunkPos{X: p.ChunkX, Z: p.ChunkZ}
+				if ep.Map.ShardOf(cp) == ep.Index {
+					return fmt.Errorf("shard %d ← %d: mirror for owned chunk %v", ep.Index, peer, cp)
+				}
+				if err := w.ApplyMirror(cp, p.Data); err != nil {
+					return fmt.Errorf("shard %d ← %d: mirror %v: %w", ep.Index, peer, cp, err)
+				}
+			case *protocol.EntityHandoff:
+				ents.Arrive(entity.Handoff{
+					Kind:           entity.Type(p.Kind),
+					Pos:            entity.Vec3{X: p.X, Y: p.Y, Z: p.Z},
+					Vel:            entity.Vec3{X: p.VX, Y: p.VY, Z: p.VZ},
+					OnGround:       p.OnGround,
+					Age:            int(p.Age),
+					ItemType:       world.BlockID(p.ItemType),
+					Fuse:           int(p.Fuse),
+					SeedKey:        p.SeedKey,
+					WanderCooldown: int(p.WanderCooldown),
+				})
+			case *protocol.EntityMirror:
+				ghosts = append(ghosts, *p)
+			default:
+				return fmt.Errorf("shard %d ← %d: unexpected packet %#x", ep.Index, peer, int32(p.ID()))
+			}
+		}
+		ep.ghosts[peer] = ghosts
+	}
+	return nil
+}
+
+// Exchange runs both halves back to back — the wall-clock shard's
+// after-tick hook, where every shard sends before it waits.
+func (ep *Endpoint) Exchange(tick int64) error {
+	if err := ep.SendTick(tick); err != nil {
+		return err
+	}
+	return ep.ApplyTick(tick)
+}

@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// ConnectMesh wires one shard process into the cluster's full session mesh
+// over TCP: the shard accepts links from every higher-indexed peer on ln
+// and dials every lower-indexed peer at peerAddrs[j], retrying until the
+// peer process is listening. It returns once all Count()-1 links are
+// attached to the endpoint, or fails after timeout. Call it before the
+// tick loop starts — the endpoint's session table is not tick-safe to
+// mutate afterwards.
+func ConnectMesh(ep *Endpoint, ln net.Listener, peerAddrs []string, timeout time.Duration) error {
+	n := ep.Map.Count()
+	if len(peerAddrs) != n {
+		return fmt.Errorf("shard: %d peer addrs for %d shards", len(peerAddrs), n)
+	}
+	if n == 1 {
+		return nil
+	}
+	self := ep.Index
+	deadline := time.Now().Add(timeout)
+
+	type result struct {
+		s   *Session
+		err error
+	}
+	results := make(chan result, n-1)
+
+	go func() {
+		for i := self + 1; i < n; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			s, err := AcceptSession(conn, self, n)
+			results <- result{s: s, err: err}
+		}
+	}()
+
+	for j := 0; j < self; j++ {
+		go func(j int) {
+			for {
+				conn, err := net.DialTimeout("tcp", peerAddrs[j], time.Second)
+				if err == nil {
+					results <- result{s: NewSession(conn, self, j, n)}
+					return
+				}
+				if time.Now().After(deadline) {
+					results <- result{err: fmt.Errorf("shard: dialing peer %d: %w", j, err)}
+					return
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+		}(j)
+	}
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for linked := 0; linked < n-1; linked++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				return r.err
+			}
+			ep.SetSession(r.s.Peer(), r.s)
+		case <-timer.C:
+			return fmt.Errorf("shard %d: mesh incomplete after %v", self, timeout)
+		}
+	}
+	return nil
+}

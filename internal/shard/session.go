@@ -1,0 +1,195 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// Session is one directionless inter-shard link: both ends write through
+// the protocol package's bounded async writer (the same machinery that
+// keeps slow players from blocking the tick loop) and a reader goroutine
+// sorts inbound packets into per-tick buckets delimited by ShardBarrier
+// markers. The tick loop never touches the socket: SendTick enqueues,
+// WaitBarrier blocks on the bucket, and a peer that stalls past the write
+// deadline faults the session instead of wedging the shard.
+type Session struct {
+	conn       *protocol.Conn
+	self, peer int
+
+	// WaitTimeout bounds WaitBarrier; a peer that cannot produce its
+	// barrier within it is treated as dead (failover territory), not
+	// merely slow. Defaults to 30 s.
+	WaitTimeout time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   map[int64][]protocol.Packet
+	pending []protocol.Packet
+	err     error
+}
+
+// sessionWriter bounds the inter-shard writer queue. Mirror bursts after a
+// failover resync can momentarily exceed player-sized queues, so the
+// limits are an order of magnitude above the per-player defaults.
+var sessionWriter = protocol.WriterConfig{
+	MaxBatches:   256,
+	MaxBytes:     8 << 20,
+	WriteTimeout: 10 * time.Second,
+}
+
+// NewSession wraps rw (a net.Conn or an in-process pipe end) into an
+// inter-shard session between shard self and shard peer of a shards-sized
+// cluster. The hello handshake is asynchronous: a mismatched peer faults
+// the session, surfacing on the next WaitBarrier.
+func NewSession(rw io.ReadWriteCloser, self, peer, shards int) *Session {
+	s := newSession(rw, self, peer)
+	s.conn.StartWriter(sessionWriter)
+	s.conn.WritePacket(&protocol.ShardHello{Shard: int32(self), Shards: int32(shards)})
+	go s.readLoop(shards, true)
+	return s
+}
+
+// AcceptSession is the listener side of a TCP shard mesh: the acceptor
+// does not know which peer dialed until the hello arrives, so it reads the
+// hello synchronously, learns the peer index, and answers with its own.
+func AcceptSession(rw io.ReadWriteCloser, self, shards int) (*Session, error) {
+	s := newSession(rw, self, -1)
+	h, err := s.readHello(shards)
+	if err != nil {
+		s.conn.Close()
+		return nil, err
+	}
+	s.peer = int(h.Shard)
+	s.conn.StartWriter(sessionWriter)
+	s.conn.WritePacket(&protocol.ShardHello{Shard: int32(self), Shards: int32(shards)})
+	go s.readLoop(shards, false)
+	return s, nil
+}
+
+func newSession(rw io.ReadWriteCloser, self, peer int) *Session {
+	s := &Session{
+		conn:        protocol.NewConn(rw),
+		self:        self,
+		peer:        peer,
+		WaitTimeout: 30 * time.Second,
+		ready:       make(map[int64][]protocol.Packet),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// readHello consumes and validates the peer's opening hello.
+func (s *Session) readHello(shards int) (*protocol.ShardHello, error) {
+	hello, _, err := s.conn.ReadPacket()
+	if err != nil {
+		return nil, err
+	}
+	h, ok := hello.(*protocol.ShardHello)
+	switch {
+	case !ok:
+		return nil, fmt.Errorf("shard: peer opened with %#x, want hello", int32(hello.ID()))
+	case int(h.Shards) != shards:
+		return nil, fmt.Errorf("shard: peer cluster size %d, want %d", h.Shards, shards)
+	case s.peer >= 0 && int(h.Shard) != s.peer:
+		return nil, fmt.Errorf("shard: peer is %d, want %d", h.Shard, s.peer)
+	}
+	return h, nil
+}
+
+func (s *Session) readLoop(shards int, expectHello bool) {
+	if expectHello {
+		if _, err := s.readHello(shards); err != nil {
+			s.fault(err)
+			return
+		}
+	}
+	for {
+		p, _, err := s.conn.ReadPacket()
+		if err != nil {
+			s.fault(err)
+			return
+		}
+		s.mu.Lock()
+		if b, ok := p.(*protocol.ShardBarrier); ok {
+			s.ready[b.Tick] = s.pending
+			s.pending = nil
+			s.cond.Broadcast()
+		} else {
+			s.pending = append(s.pending, p)
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Session) fault(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Send enqueues one tick's outbound packets followed by its barrier. The
+// batch boundary matches the tick boundary, so the writer flushes whole
+// ticks and the peer's barrier bucket is never torn.
+func (s *Session) Send(tick int64, pkts []protocol.Packet) error {
+	s.conn.BeginBatch()
+	handoffs := 0
+	for _, p := range pkts {
+		if _, ok := p.(*protocol.EntityHandoff); ok {
+			handoffs++
+		}
+		if _, err := s.conn.WritePacket(p); err != nil {
+			return err
+		}
+	}
+	if _, err := s.conn.WritePacket(&protocol.ShardBarrier{Tick: tick, Handoffs: int32(handoffs)}); err != nil {
+		return err
+	}
+	return s.conn.FlushBatch()
+}
+
+// WaitBarrier blocks until the peer's barrier for tick arrives and returns
+// the packets that preceded it, in send order.
+func (s *Session) WaitBarrier(tick int64) ([]protocol.Packet, error) {
+	deadline := time.Now().Add(s.WaitTimeout)
+	timer := time.AfterFunc(s.WaitTimeout, func() {
+		s.fault(fmt.Errorf("shard: peer %d missed barrier for tick %d", s.peer, tick))
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if pkts, ok := s.ready[tick]; ok {
+			delete(s.ready, tick)
+			return pkts, nil
+		}
+		if s.err != nil {
+			return nil, s.err
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("shard: peer %d missed barrier for tick %d", s.peer, tick)
+		}
+		s.cond.Wait()
+	}
+}
+
+// Peer returns the peer shard index (learned from the hello on accepted
+// sessions).
+func (s *Session) Peer() int { return s.peer }
+
+// Err returns the session's sticky fault, if any.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close tears the session down; in-flight reads surface the close as a
+// fault.
+func (s *Session) Close() error { return s.conn.Close() }

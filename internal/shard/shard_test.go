@@ -1,0 +1,463 @@
+package shard_test
+
+// The sharding suite pins the contract the shard package makes: a cluster
+// of N chunk-range shards is observationally equivalent to one server
+// owning the whole world, for every entity that never crosses a boundary —
+// and entities that do cross arrive on the new owner with their state
+// intact. The equivalence matrix runs the Farm workload at Scale 2, whose
+// two construct districts sit ~500 blocks apart, so a split at chunk X=16
+// gives each shard one fully active district: both shards spawn, path,
+// collect and despawn real traffic while the per-tick counters (summed
+// across shards) must stay bit-identical to the single-shard run.
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/mlg/entity"
+	"repro/internal/mlg/persist"
+	"repro/internal/mlg/server"
+	"repro/internal/mlg/world"
+	"repro/internal/protocol"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+var epoch = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// equivSplit puts Farm Scale 2's district 0 (chunks ~-2..3) on shard 0 and
+// district 1 (chunks ~30..35) on shard 1.
+const equivSplit = 16
+
+// buildFn returns a ClusterConfig.Build closure for the given flavor and
+// workload; every shard gets its own world instance with the same seed.
+func buildFn(f server.Flavor, k workload.Kind, m shard.Map, stores []*persist.Store) func(int, func(world.ChunkPos) bool) (*server.Server, error) {
+	return func(i int, owns func(world.ChunkPos) bool) (*server.Server, error) {
+		w := workload.NewWorld(k, world.PaperControlSeed)
+		cfg := server.DefaultConfig(f)
+		cfg.Sim.Seed = 1234
+		cfg.Shard = server.ShardConfig{Count: m.Count(), Index: i, Owns: owns}
+		if stores != nil {
+			cfg.Persist = server.PersistConfig{Store: stores[i], Every: 10, Sync: true}
+		}
+		return server.New(w, cfg, env.NewMachine(env.DAS5SixteenCore, 1), env.NewVirtualClock(epoch)), nil
+	}
+}
+
+// refServer builds the single-shard reference: one server owning every
+// chunk, but under the same ShardConfig regime as the cluster's members
+// (ownership predicate installed, natural spawning off), so the comparison
+// isolates the partition itself rather than config differences.
+func refServer(t testing.TB, f server.Flavor, k workload.Kind, spec *workload.Spec) *server.Server {
+	one := shard.Map{}
+	s, err := buildFn(f, k, one, nil)(0, one.Owns(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec != nil {
+		if err := workload.Install(s, *spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func newFarmCluster(t testing.TB, f server.Flavor, spec workload.Spec, stores []*persist.Store) *shard.Cluster {
+	m := shard.Map{Splits: []int32{equivSplit}}
+	c, err := shard.NewCluster(shard.ClusterConfig{
+		Map:   m,
+		Build: buildFn(f, workload.Farm, m, stores),
+		Install: func(s *server.Server, i int) error {
+			return workload.Install(s, spec)
+		},
+		Stores: stores,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// sameChunks compares chunk fingerprints on (Pos, NonAir, Sum). Revision is
+// a cache key, not content (see world.ChunkState), and a restored shard's
+// revisions legitimately differ from a never-killed twin's.
+func sameChunks(t *testing.T, what string, a, b []world.ChunkState) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d chunks vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Pos != b[i].Pos || a[i].NonAir != b[i].NonAir || a[i].Sum != b[i].Sum {
+			t.Fatalf("%s: chunk %d diverged: %+v vs %+v", what, i, a[i], b[i])
+		}
+	}
+}
+
+func TestMapRouting(t *testing.T) {
+	m := shard.Map{Splits: []int32{0, 10}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 3 {
+		t.Fatalf("Count() = %d, want 3", m.Count())
+	}
+	for _, tc := range []struct {
+		x    int32
+		want int
+	}{{-100, 0}, {-1, 0}, {0, 1}, {9, 1}, {10, 2}, {100, 2}} {
+		if got := m.ShardOf(world.ChunkPos{X: tc.x}); got != tc.want {
+			t.Errorf("ShardOf(chunk %d) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+	// Block-level routing: chunk 0 starts at block 0, chunk -1 at block -16.
+	if got := m.ShardOfBlock(world.Pos{X: -1}); got != 0 {
+		t.Errorf("ShardOfBlock(-1) = %d, want 0", got)
+	}
+	if got := m.ShardOfBlock(world.Pos{X: 0}); got != 1 {
+		t.Errorf("ShardOfBlock(0) = %d, want 1", got)
+	}
+	// Halo membership: shard 1 owns chunks 0..9; chunk 0 borders shard 0,
+	// chunk 9 borders shard 2, chunk 5 borders nobody.
+	if got := m.HaloPeers(1, world.ChunkPos{X: 0}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("HaloPeers(1, chunk 0) = %v, want [0]", got)
+	}
+	if got := m.HaloPeers(1, world.ChunkPos{X: 9}); len(got) != 1 || got[0] != 2 {
+		t.Errorf("HaloPeers(1, chunk 9) = %v, want [2]", got)
+	}
+	if got := m.HaloPeers(1, world.ChunkPos{X: 5}); len(got) != 0 {
+		t.Errorf("HaloPeers(1, chunk 5) = %v, want none", got)
+	}
+	if err := (shard.Map{Splits: []int32{5, 5}}).Validate(); err == nil {
+		t.Error("Validate accepted non-ascending splits")
+	}
+}
+
+func TestSessionBarrier(t *testing.T) {
+	a, b := net.Pipe()
+	sa := shard.NewSession(a, 0, 1, 2)
+	sb := shard.NewSession(b, 1, 0, 2)
+	defer sa.Close()
+	defer sb.Close()
+
+	out := []protocol.Packet{
+		&protocol.EntityHandoff{Kind: 2, X: 1, SeedKey: 42},
+		&protocol.EntityMirror{Kind: 1, X: 3, Y: 4, Z: 5},
+	}
+	if err := sa.Send(7, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Send(7, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sb.WaitBarrier(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d packets, want 2", len(got))
+	}
+	h, ok := got[0].(*protocol.EntityHandoff)
+	if !ok || h.SeedKey != 42 {
+		t.Fatalf("packet 0 = %#v, want the handoff first (send order)", got[0])
+	}
+	empty, err := sa.WaitBarrier(7)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty barrier: %v packets, err %v", len(empty), err)
+	}
+
+	// Ticks are independent buckets: a later tick's barrier does not
+	// satisfy a wait for an earlier one that never arrives.
+	if err := sa.Send(9, nil); err != nil {
+		t.Fatal(err)
+	}
+	sb.WaitTimeout = 50 * time.Millisecond
+	if _, err := sb.WaitBarrier(8); err == nil {
+		t.Fatal("WaitBarrier(8) succeeded without a barrier for tick 8")
+	}
+}
+
+func TestSessionHelloMismatch(t *testing.T) {
+	a, b := net.Pipe()
+	sa := shard.NewSession(a, 0, 1, 2)
+	sb := shard.NewSession(b, 1, 0, 3) // wrong cluster size
+	defer sa.Close()
+	defer sb.Close()
+	sa.WaitTimeout = time.Second
+	if _, err := sa.WaitBarrier(1); err == nil {
+		t.Fatal("session accepted a peer from a different cluster size")
+	}
+}
+
+// TestClusterEquivalence is the tentpole differential: a 2-shard cluster
+// must produce, tick for tick, the same summed simulation and entity
+// counters as the single-shard reference, the same entity state sum, and
+// the same terrain fingerprints — for a workload whose entities never cross
+// the shard boundary. Both shards host a live construct district, so the
+// equality is between two genuinely active partitions, not one busy shard
+// plus a spectator.
+func TestClusterEquivalence(t *testing.T) {
+	spec := workload.Farm.DefaultSpec()
+	spec.Scale = 2
+	for _, f := range server.Flavors() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			single := refServer(t, f, workload.Farm, &spec)
+			cluster := newFarmCluster(t, f, spec, nil)
+			single.Connect("eq")
+			cluster.Connect("eq")
+
+			for i := 0; i < 90; i++ {
+				rs := single.Tick()
+				rc := cluster.Tick()
+				if err := cluster.Err(); err != nil {
+					t.Fatalf("tick %d: exchange fault: %v", i+1, err)
+				}
+				if rs.Sim != rc.Sim {
+					t.Fatalf("tick %d: sim counters diverged\nsingle:  %+v\ncluster: %+v", i+1, rs.Sim, rc.Sim)
+				}
+				if rs.Ent != rc.Ent {
+					t.Fatalf("tick %d: entity counters diverged\nsingle:  %+v\ncluster: %+v", i+1, rs.Ent, rc.Ent)
+				}
+				if rs.Entities != rc.Entities {
+					t.Fatalf("tick %d: entity count %d vs %d", i+1, rs.Entities, rc.Entities)
+				}
+				sum := cluster.Shard(0).EntityWorld().StateSum() + cluster.Shard(1).EntityWorld().StateSum()
+				if ss := single.EntityWorld().StateSum(); ss != sum {
+					t.Fatalf("tick %d: entity state sum %#x vs cluster %#x", i+1, ss, sum)
+				}
+			}
+
+			// Both shards must have hosted real entity traffic: a vacuous
+			// equality (one empty shard) would not pin the partition.
+			for i := 0; i < 2; i++ {
+				if n := cluster.Shard(i).EntityWorld().Count(); n == 0 {
+					t.Fatalf("shard %d hosted no entities; the differential is vacuous", i)
+				}
+			}
+
+			ss, cs := single.Snapshot(), cluster.Snapshot()
+			if ss.Players != cs.Players || ss.Entities != cs.Entities || ss.Mobs != cs.Mobs ||
+				ss.Items != cs.Items || ss.TNT != cs.TNT || ss.ItemsCollected != cs.ItemsCollected {
+				t.Fatalf("final populations diverged\nsingle:  %+v\ncluster: %+v", ss, cs)
+			}
+			sameChunks(t, "final terrain", ss.Chunks, cs.Chunks)
+		})
+	}
+}
+
+// TestClusterHandoff pushes an entity across the shard boundary and pins
+// the state-intact contract: a twin single-shard server runs the identical
+// scenario, and the cluster's summed entity state fingerprint — which
+// covers position, velocity, age, spawn identity and AI timers — must
+// match the twin's on every tick before, during and after the migration.
+func TestClusterHandoff(t *testing.T) {
+	m := shard.Map{Splits: []int32{equivSplit}}
+	cluster, err := shard.NewCluster(shard.ClusterConfig{
+		Map:   m,
+		Build: buildFn(server.Vanilla, workload.Control, m, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := refServer(t, server.Vanilla, workload.Control, nil)
+
+	// One item just inside shard 0, flung toward shard 1's range.
+	boundaryX := equivSplit * world.ChunkSize
+	spawn := world.Pos{X: boundaryX - 2, Y: 40, Z: 8}
+	kick := func(ents *entity.World) {
+		ents.SpawnItem(spawn, world.Stone)
+		ents.Entities(func(e *entity.Entity) { e.Vel = entity.Vec3{X: 6} })
+	}
+	kick(single.EntityWorld())
+	kick(cluster.Shard(0).EntityWorld())
+
+	crossedAt := -1
+	for i := 0; i < 12; i++ {
+		single.Tick()
+		cluster.Tick()
+		if err := cluster.Err(); err != nil {
+			t.Fatalf("tick %d: exchange fault: %v", i+1, err)
+		}
+		n0 := cluster.Shard(0).EntityWorld().Count()
+		n1 := cluster.Shard(1).EntityWorld().Count()
+		if n0+n1 != 1 {
+			t.Fatalf("tick %d: item lost in transit: %d on shard 0, %d on shard 1", i+1, n0, n1)
+		}
+		if crossedAt < 0 && n1 == 1 {
+			crossedAt = i + 1
+		}
+		sum := cluster.Shard(0).EntityWorld().StateSum() + cluster.Shard(1).EntityWorld().StateSum()
+		if ss := single.EntityWorld().StateSum(); ss != sum {
+			t.Fatalf("tick %d: entity state diverged across the handoff: single %#x, cluster %#x", i+1, ss, sum)
+		}
+	}
+	if crossedAt < 0 {
+		t.Fatal("item never crossed the shard boundary")
+	}
+
+	// The arrival kept the item simulating as an item on the new owner.
+	found := 0
+	cluster.Shard(1).EntityWorld().Entities(func(e *entity.Entity) {
+		found++
+		if e.Kind != entity.Item || e.ItemType != world.Stone {
+			t.Fatalf("arrived entity is %v/%v, want Item/Stone", e.Kind, e.ItemType)
+		}
+		if bx := e.Pos.BlockPos().X; bx < boundaryX {
+			t.Fatalf("arrived entity at block X=%d, still left of the boundary %d", bx, boundaryX)
+		}
+	})
+	if found != 1 {
+		t.Fatalf("shard 1 holds %d entities, want 1", found)
+	}
+	t.Logf("handoff at tick %d", crossedAt)
+}
+
+// TestClusterMirror pins the halo protocol: a terrain change in a boundary
+// chunk appears in the neighbour's halo copy after one exchange, and a
+// subsequent change propagates too (the mirror dedup must not swallow it).
+func TestClusterMirror(t *testing.T) {
+	m := shard.Map{Splits: []int32{equivSplit}}
+	cluster, err := shard.NewCluster(shard.ClusterConfig{
+		Map:   m,
+		Build: buildFn(server.Vanilla, workload.Control, m, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A block in shard 1's first owned chunk column (chunk X=16), which is
+	// inside the halo shard 0 must see.
+	p := world.Pos{X: equivSplit*world.ChunkSize + 2, Y: 10, Z: 3}
+	cluster.Shard(1).World().SetBlock(p, world.B(world.Stone))
+	cluster.Tick()
+	if err := cluster.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cluster.Shard(0).World().Block(p).ID; got != world.Stone {
+		t.Fatalf("halo copy holds %v after exchange, want Stone", got)
+	}
+	cluster.Shard(1).World().SetBlock(p, world.B(world.Air))
+	cluster.Tick()
+	if got := cluster.Shard(0).World().Block(p).ID; got != world.Air {
+		t.Fatalf("halo copy holds %v after second exchange, want Air", got)
+	}
+
+	// Halo entity ghosts: an entity standing in the boundary chunk shows up
+	// in the neighbour's display-only ghost set after the next exchange.
+	cluster.Shard(1).EntityWorld().SpawnItem(p.Up(), world.Stone)
+	cluster.Tick()
+	ghosts := cluster.Endpoint(0).Ghosts()
+	if len(ghosts) != 1 || entity.Type(ghosts[0].Kind) != entity.Item {
+		t.Fatalf("ghosts = %+v, want one item mirror", ghosts)
+	}
+}
+
+// TestClusterFailover is the recovery differential: a cluster that loses a
+// shard mid-run — and brings a standby back from the shard's newest
+// snapshot, replaying the gap — must re-converge to lockstep equality with
+// a twin cluster that never crashed. The boundary is quiescent around the
+// kill window (Farm's districts sit far from the split), which is exactly
+// the input-free-replay contract RestoreShard documents.
+func TestClusterFailover(t *testing.T) {
+	spec := workload.Farm.DefaultSpec()
+	spec.Scale = 2
+
+	stores := make([]*persist.Store, 2)
+	for i := range stores {
+		st, err := persist.NewStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = st
+	}
+	control := newFarmCluster(t, server.Vanilla, spec, nil)
+	subject := newFarmCluster(t, server.Vanilla, spec, stores)
+
+	compare := func(tick int, rc, rs server.TickRecord) {
+		t.Helper()
+		if rc.Sim != rs.Sim || rc.Ent != rs.Ent || rc.Entities != rs.Entities {
+			t.Fatalf("tick %d: records diverged\ncontrol: %+v %+v\nsubject: %+v %+v",
+				tick, rc.Sim, rc.Ent, rs.Sim, rs.Ent)
+		}
+	}
+
+	const killAfter, deadTicks, total = 37, 2, 60
+	for i := 0; i < killAfter; i++ {
+		compare(i+1, control.Tick(), subject.Tick())
+	}
+	subject.KillShard(1)
+	if subject.Shard(1) != nil || subject.Endpoint(1) != nil {
+		t.Fatal("killed shard still reachable")
+	}
+	// The cluster keeps ticking with the survivor while the shard is down;
+	// the control ticks alongside to stay tick-aligned.
+	for i := 0; i < deadTicks; i++ {
+		control.Tick()
+		subject.Tick()
+	}
+	if err := subject.RestoreShard(1); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for i := killAfter + deadTicks; i < total; i++ {
+		compare(i+1, control.Tick(), subject.Tick())
+	}
+	if err := subject.Err(); err != nil {
+		t.Fatalf("exchange fault: %v", err)
+	}
+
+	cs, ss := control.Snapshot(), subject.Snapshot()
+	if cs.Tick != ss.Tick || cs.Entities != ss.Entities || cs.Mobs != ss.Mobs ||
+		cs.Items != ss.Items || cs.ItemsCollected != ss.ItemsCollected || cs.EntitySum != ss.EntitySum {
+		t.Fatalf("post-failover state diverged\ncontrol: %+v\nsubject: %+v", cs, ss)
+	}
+	sameChunks(t, "post-failover terrain", cs.Chunks, ss.Chunks)
+}
+
+// BenchmarkShardHandoff measures the full inter-shard migration path: the
+// departure sweep on the old owner, the wire round trip through the packet
+// codec and async writer, and the arrival insert on the new owner — 64
+// entities per operation.
+func BenchmarkShardHandoff(b *testing.B) {
+	m := shard.Map{Splits: []int32{equivSplit}}
+	cluster, err := shard.NewCluster(shard.ClusterConfig{
+		Map:   m,
+		Build: buildFn(server.Vanilla, workload.Control, m, nil),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ents0 := cluster.Shard(0).EntityWorld()
+	ents1 := cluster.Shard(1).EntityWorld()
+	ep0, ep1 := cluster.Endpoint(0), cluster.Endpoint(1)
+	// Deep inside shard 1's range, clear of the halo, so the bench isolates
+	// handoffs from mirror traffic.
+	dst := world.Pos{X: (equivSplit + 14) * world.ChunkSize, Y: 40, Z: 8}
+	everything := func(world.ChunkPos) bool { return false }
+
+	const batch = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			ents0.SpawnItem(dst, world.Stone)
+		}
+		tick := int64(i + 1)
+		if err := ep0.SendTick(tick); err != nil {
+			b.Fatal(err)
+		}
+		if err := ep1.SendTick(tick); err != nil {
+			b.Fatal(err)
+		}
+		if err := ep0.ApplyTick(tick); err != nil {
+			b.Fatal(err)
+		}
+		if err := ep1.ApplyTick(tick); err != nil {
+			b.Fatal(err)
+		}
+		if n := ents1.Count(); n != batch {
+			b.Fatalf("op %d: %d arrivals, want %d", i, n, batch)
+		}
+		ents1.DrainDepartures(everything) // reset for the next op
+	}
+	b.ReportMetric(batch, "handoffs/op")
+}

@@ -21,11 +21,11 @@ var (
 // the test window, and a write deadline short enough to reap it there too.
 func faultTunedServer() *server.Config {
 	cfg := server.DefaultConfig(server.Vanilla)
-	cfg.ViewDistance = 2
-	cfg.SocketWriteBuffer = 8 << 10
-	cfg.WriteQueueBatches = 64
-	cfg.WriteQueueBytes = 16 << 10
-	cfg.WriteTimeout = 500 * time.Millisecond
+	cfg.Net.ViewDistance = 2
+	cfg.Net.SocketWriteBuffer = 8 << 10
+	cfg.Net.WriteQueueBatches = 64
+	cfg.Net.WriteQueueBytes = 16 << 10
+	cfg.Net.WriteTimeout = 500 * time.Millisecond
 	return &cfg
 }
 

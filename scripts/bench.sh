@@ -59,6 +59,14 @@ go test -run '^$' -bench "$sweep" \
   -benchmem -benchtime "$benchtime" -cpu 2,4,8 \
   ./internal/mlg/server ./internal/mlg/entity | tee -a "$raw"
 
+# Shard handoff benchmark: the inter-shard entity migration path (departure
+# sweep, packet codec round trip, arrival insert) — the hot cost a sharded
+# deployment adds per boundary crossing. Pinned at -cpu 1 with the rest of
+# the serial set; its entry extends the gate baseline in BENCH_10.json.
+go test -run '^$' -bench 'BenchmarkShardHandoff$' \
+  -benchmem -benchtime "$benchtime" -cpu 1 \
+  ./internal/shard | tee -a "$raw"
+
 # Swarm tail benchmark: always 1x — each iteration is a full multi-second
 # real-TCP run, so -benchtime only multiplies wall clock, not resolution.
 # Pinned to -cpu 4 so the recorded (name, cpus) key is host-independent:
